@@ -1,0 +1,44 @@
+//! Criterion: cost of the equilibrium tooling — CE verification at scale
+//! (the fast congestion path) and the exact CE LP on small games.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use rths_game::equilibrium::{ce_residual_congestion, max_welfare_ce};
+use rths_game::{HelperSelectionGame, JointDistribution};
+
+fn bench_ce_residual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equilibrium/ce_residual_congestion");
+    for (n, h, profiles) in [(10usize, 4usize, 1000usize), (200, 20, 1000)] {
+        let label = format!("n{n}_h{h}_s{profiles}");
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let caps: Vec<f64> = (0..h).map(|j| 700.0 + (j % 3) as f64 * 100.0).collect();
+            let game = HelperSelectionGame::new(caps).with_peers(n);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut dist = JointDistribution::new();
+            for _ in 0..profiles {
+                let profile: Vec<usize> = (0..n).map(|_| rng.gen_range(0..h)).collect();
+                dist.record(&profile);
+            }
+            b.iter(|| ce_residual_congestion(&game, &dist).max_residual);
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_ce_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equilibrium/exact_ce_lp");
+    group.sample_size(10);
+    for (n, h) in [(3usize, 2usize), (4, 2), (3, 3)] {
+        let label = format!("n{n}_h{h}");
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let caps: Vec<f64> = (0..h).map(|j| 800.0 - 100.0 * j as f64).collect();
+            let game = HelperSelectionGame::new(caps).with_peers(n);
+            b.iter(|| max_welfare_ce(&game).unwrap().welfare());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ce_residual, bench_exact_ce_lp);
+criterion_main!(benches);

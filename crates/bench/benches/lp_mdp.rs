@@ -1,0 +1,86 @@
+//! Criterion: cost of the exact solvers backing the centralized
+//! benchmark — the simplex LP, the occupation-measure LP, and the greedy
+//! vs DP assignment optimizers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rths_lp::{LinearProgram, Relation};
+use rths_mdp::assignment::{optimal_loads, optimal_loads_dp};
+use rths_mdp::occupation::OccupationLp;
+use rths_mdp::welfare::expected_optimal_welfare_exact;
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/simplex_dense");
+    for n in [5usize, 15, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // Assignment-like LP: n variables, n box rows + 1 budget.
+                let costs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+                let mut lp = LinearProgram::maximize(costs);
+                for i in 0..n {
+                    let mut row = vec![0.0; n];
+                    row[i] = 1.0;
+                    lp.add_constraint(row, Relation::Le, 2.0).unwrap();
+                }
+                lp.add_constraint(vec![1.0; n], Relation::Le, n as f64).unwrap();
+                lp.solve().unwrap().objective()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_occupation_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdp/occupation_lp");
+    group.sample_size(10);
+    group.bench_function("h2_l2_n3", |b| {
+        b.iter(|| {
+            let lp = OccupationLp::new(
+                vec![vec![700.0, 900.0], vec![800.0]],
+                vec![vec![0.5, 0.5], vec![1.0]],
+                3,
+                None,
+            );
+            lp.solve().unwrap().welfare
+        });
+    });
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdp/assignment");
+    for n in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, &n| {
+            let caps: Vec<f64> = (0..20).map(|j| 500.0 + (j * 37 % 400) as f64).collect();
+            b.iter(|| optimal_loads(&caps, n, Some(400.0)).welfare);
+        });
+    }
+    for n in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("dp", n), &n, |b, &n| {
+            let caps: Vec<f64> = (0..20).map(|j| 500.0 + (j * 37 % 400) as f64).collect();
+            b.iter(|| optimal_loads_dp(&caps, n, Some(400.0)).welfare);
+        });
+    }
+    group.finish();
+}
+
+fn bench_expected_welfare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdp/expected_welfare_exact");
+    group.sample_size(10);
+    for h in [4usize, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
+            let levels = vec![vec![700.0, 800.0, 900.0]; h];
+            let pi = vec![vec![0.25, 0.5, 0.25]; h];
+            b.iter(|| expected_optimal_welfare_exact(&levels, &pi, 10, Some(400.0), 100_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_occupation_lp,
+    bench_assignment,
+    bench_expected_welfare
+);
+criterion_main!(benches);

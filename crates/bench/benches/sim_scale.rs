@@ -1,0 +1,71 @@
+//! Criterion: simulator throughput as the system scales.
+//!
+//! Measures cost per epoch for growing peer populations (the dominant
+//! axis) and for the multi-channel engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rths_sim::{
+    AllocationPolicy, BandwidthSpec, MultiChannelConfig, MultiChannelSystem, Scenario,
+    SimConfig, System,
+};
+
+fn bench_epoch_vs_peers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/epoch_cost_vs_peers");
+    for n in [10usize, 50, 200, 500] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = SimConfig::builder(
+                n,
+                vec![BandwidthSpec::Paper { stay: 0.98 }; (n / 10).max(2)],
+            )
+            .seed(1)
+            .build();
+            let mut system = System::new(config);
+            b.iter(|| system.step_epoch());
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/paper_scenarios");
+    group.bench_function("small_n10_h4_epoch", |b| {
+        let mut system = System::new(Scenario::paper_small().seed(2).build());
+        b.iter(|| system.step_epoch());
+    });
+    group.bench_function("large_n200_h20_epoch", |b| {
+        let mut system = System::new(Scenario::paper_large().seed(3).build());
+        b.iter(|| system.step_epoch());
+    });
+    group.finish();
+}
+
+fn bench_multichannel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/multichannel_epoch");
+    for viewers in [60usize, 240] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(viewers),
+            &viewers,
+            |b, &viewers| {
+                let config = MultiChannelConfig::standard(
+                    4,
+                    400.0,
+                    12,
+                    2,
+                    viewers,
+                    1.0,
+                    AllocationPolicy::WaterFilling,
+                    4,
+                );
+                let mut system = MultiChannelSystem::new(config);
+                b.iter(|| {
+                    system.run(1);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_vs_peers, bench_paper_scenarios, bench_multichannel);
+criterion_main!(benches);

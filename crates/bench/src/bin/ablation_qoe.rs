@@ -1,0 +1,78 @@
+//! Ablation abl-qoe: the §III.B stability argument in viewer terms.
+//!
+//! Best-response herding leaves every peer sharing one helper (rate
+//! C/N); RTHS spreads the audience. Feeding both rate traces through the
+//! playback-buffer model shows what that means for actual viewing:
+//! stalls per minute and rebuffer ratio.
+//!
+//! Run with: `cargo run --release -p rths-bench --bin ablation_qoe`
+
+use rths_bench::write_csv;
+use rths_game::{best_response, HelperSelectionGame};
+use rths_sim::{BandwidthSpec, PlaybackBuffer, SimConfig, System};
+
+fn main() {
+    let n = 20usize;
+    let caps = [800.0, 800.0];
+    let bitrate = 75.0; // fair share is 80 kbps — feasible, but tight.
+    let epochs = 3000usize;
+    println!("Ablation — playback QoE: {n} peers, two 800 kbps helpers, {bitrate} kbps stream\n");
+
+    // Best-response herding: everyone always shares one helper.
+    let game = HelperSelectionGame::new(caps.to_vec());
+    let trace = best_response::synchronous(&game, &vec![0usize; n], epochs);
+    let br_rates: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            trace.profiles[..epochs.min(trace.profiles.len())]
+                .iter()
+                .map(|profile| {
+                    let loads = game.loads(profile);
+                    game.rate(profile[i], loads[profile[i]]).min(bitrate)
+                })
+                .collect()
+        })
+        .collect();
+
+    // RTHS in the simulator, recording per-peer rates.
+    let config = SimConfig::builder(n, vec![BandwidthSpec::Constant(800.0); 2])
+        .demand(bitrate)
+        .record_peer_rates(true)
+        .seed(8)
+        .build();
+    let mut system = System::new(config);
+    let out = system.run(epochs as u64);
+    let rths_rates = out.peer_rate_series.expect("recording enabled");
+
+    let buffer = PlaybackBuffer::live_default(bitrate);
+    let mut rows = Vec::new();
+    println!(
+        "{:<22} {:>14} {:>16} {:>15}",
+        "policy", "stalls/minute", "rebuffer ratio", "startup (s)"
+    );
+    for (idx, (name, traces)) in
+        [("best response (herd)", &br_rates), ("RTHS", &rths_rates)].iter().enumerate()
+    {
+        let stats: Vec<_> = traces.iter().map(|r| buffer.replay(r)).collect();
+        let minutes = epochs as f64 / 60.0;
+        let stalls_pm = rths_math::stats::mean(
+            &stats.iter().map(|s| s.stall_events as f64 / minutes).collect::<Vec<_>>(),
+        );
+        let rebuffer = rths_math::stats::mean(
+            &stats.iter().map(|s| s.rebuffer_ratio).collect::<Vec<_>>(),
+        );
+        let startup = rths_math::stats::mean(
+            &stats.iter().map(|s| s.startup_delay).collect::<Vec<_>>(),
+        );
+        println!("{name:<22} {stalls_pm:>14.2} {rebuffer:>16.3} {startup:>15.1}");
+        rows.push(vec![idx as f64, stalls_pm, rebuffer, startup]);
+    }
+    let path = write_csv(
+        "ablation_qoe",
+        &["policy", "stalls_per_minute", "rebuffer_ratio", "startup_seconds"],
+        &rows,
+    );
+    println!("\nreading: herding halves everyone's rate below the bitrate, so playback");
+    println!("stalls continuously; RTHS's stable near-even split keeps the stream");
+    println!("at ~fair share ≥ bitrate and the buffer almost never drains.");
+    println!("csv: {}", path.display());
+}

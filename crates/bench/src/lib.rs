@@ -1,0 +1,108 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Every `src/bin/figN.rs` binary regenerates one of the paper's figures:
+//! it prints the series the figure plots (so the shape can be inspected
+//! in the terminal) and writes a CSV under `results/` for external
+//! plotting. `src/bin/all_figures.rs` runs the full set; EXPERIMENTS.md
+//! records the measured numbers against the paper's claims.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Seeds used when a figure averages across repetitions.
+pub const SEEDS: [u64; 10] = [11, 23, 37, 41, 53, 67, 79, 83, 97, 101];
+
+/// Directory where CSV outputs land (override with `RTHS_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("RTHS_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("can create results directory");
+    path
+}
+
+/// Writes a CSV with the given headers and rows; returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors (harness binaries should fail loudly) or if a row
+/// length does not match the header count.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<f64>]) -> PathBuf {
+    let path = results_dir().join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("can create CSV file");
+    writeln!(file, "{}", headers.join(",")).expect("can write header");
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row length mismatch in {name}");
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(file, "{}", line.join(",")).expect("can write row");
+    }
+    path
+}
+
+/// Uniformly downsamples `(index, value)` points from a series for
+/// printing — keeps terminal output readable for long runs.
+pub fn sample_points(values: &[f64], max_points: usize) -> Vec<(usize, f64)> {
+    if values.is_empty() || max_points == 0 {
+        return Vec::new();
+    }
+    let stride = values.len().div_ceil(max_points).max(1);
+    let mut out: Vec<(usize, f64)> =
+        values.iter().step_by(stride).enumerate().map(|(i, &v)| (i * stride, v)).collect();
+    let last = values.len() - 1;
+    if out.last().map(|&(i, _)| i) != Some(last) {
+        out.push((last, values[last]));
+    }
+    out
+}
+
+/// Element-wise mean of several equally long series.
+///
+/// # Panics
+///
+/// Panics if the series are empty or lengths differ.
+pub fn mean_series(series: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!series.is_empty(), "need at least one series");
+    let len = series[0].len();
+    assert!(series.iter().all(|s| s.len() == len), "series lengths differ");
+    (0..len)
+        .map(|i| series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64)
+        .collect()
+}
+
+/// Prints a two-column series table with an optional third column.
+pub fn print_series(title: &str, header: (&str, &str), points: &[(usize, f64)]) {
+    println!("\n{title}");
+    println!("{:>10}  {:>14}", header.0, header.1);
+    for (x, y) in points {
+        println!("{x:>10}  {y:>14.3}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_points_keeps_endpoints() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let pts = sample_points(&v, 20);
+        assert!(pts.len() <= 21);
+        assert_eq!(pts[0], (0, 0.0));
+        assert_eq!(*pts.last().unwrap(), (999, 999.0));
+    }
+
+    #[test]
+    fn mean_series_averages() {
+        let m = mean_series(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn csv_written_to_results() {
+        std::env::set_var("RTHS_RESULTS_DIR", std::env::temp_dir().join("rths-test-results"));
+        let p = write_csv("unit_test", &["a", "b"], &[vec![1.0, 2.0]]);
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.starts_with("a,b\n1,2"));
+        std::env::remove_var("RTHS_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,504 @@
+//! R2HS — the recursive regret-tracking learner (paper Algorithm 2).
+
+use rand::RngCore;
+use rths_math::Matrix;
+
+use crate::config::{RecencyMode, RthsConfig};
+use crate::learner::Learner;
+use crate::policy;
+
+/// The Recursive Regret-Tracking Helper Selection learner.
+///
+/// Maintains the proxy matrix `Tⁿ` of Eq. (3-4) via the rank-one update of
+/// Eq. (3-5) and derives regrets with Eq. (3-6), so per-stage work is
+/// `O(m²)` with no history kept. See the crate docs for the full update
+/// equations and [`RecencyMode`] for the averaging variants.
+///
+/// # Example
+///
+/// ```
+/// use rths_core::{Learner, RthsConfig, RthsLearner};
+/// use rand::SeedableRng;
+///
+/// let mut learner = RthsLearner::new(RthsConfig::builder(3).build()?);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = learner.select_action(&mut rng);
+/// assert!(a < 3);
+/// learner.observe(640.0);
+/// assert_eq!(learner.stage(), 1);
+/// # Ok::<(), rths_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RthsLearner {
+    config: RthsConfig,
+    probs: Vec<f64>,
+    /// Proxy matrix `T` (Eq. 3-4): entry `(j, k)` accumulates importance-
+    /// weighted utilities of stages where `k` was played.
+    t: Matrix,
+    /// Regret matrix `Q` (Eq. 3-6).
+    q: Matrix,
+    /// Recency-weighted empirical play frequency per action (same
+    /// averaging mode as `T`); drives conditional-regret normalisation.
+    freq: Vec<f64>,
+    stage: u64,
+    pending: Option<usize>,
+}
+
+impl RthsLearner {
+    /// Creates a learner with the uniform initial strategy and zero
+    /// regrets (`Q⁰ = 0`, Algorithm 2 initialisation).
+    pub fn new(config: RthsConfig) -> Self {
+        let m = config.num_actions();
+        Self {
+            probs: vec![1.0 / m as f64; m],
+            t: Matrix::zeros(m, m),
+            q: Matrix::zeros(m, m),
+            freq: vec![1.0 / m as f64; m],
+            stage: 0,
+            pending: None,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RthsConfig {
+        &self.config
+    }
+
+    /// The regret matrix `Qⁿ` (diagonal is zero by definition).
+    pub fn regret_matrix(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The proxy matrix `Tⁿ`.
+    pub fn proxy_matrix(&self) -> &Matrix {
+        &self.t
+    }
+
+    /// Regret `Qⁿ(j, k)` for not having played `k` instead of `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn regret(&self, j: usize, k: usize) -> f64 {
+        self.q[(j, k)]
+    }
+
+    /// Recency-weighted empirical play frequencies (one per action).
+    pub fn play_frequencies(&self) -> &[f64] {
+        &self.freq
+    }
+
+    fn update_regrets(&mut self) {
+        let m = self.config.num_actions();
+        // Averaging factor: ε for the tracking modes (Eq. 3-6), 1/n for
+        // uniform regret matching.
+        let factor = match self.config.recency() {
+            RecencyMode::Exponential | RecencyMode::PaperLiteral => self.config.epsilon(),
+            RecencyMode::Uniform => 1.0 / self.stage.max(1) as f64,
+        };
+        for j in 0..m {
+            let t_jj = self.t[(j, j)];
+            for k in 0..m {
+                self.q[(j, k)] =
+                    if j == k { 0.0 } else { (factor * (self.t[(j, k)] - t_jj)).max(0.0) };
+            }
+        }
+    }
+}
+
+impl Default for RthsLearner {
+    fn default() -> Self {
+        Self::new(RthsConfig::builder(2).build().expect("default config is valid"))
+    }
+}
+
+impl Learner for RthsLearner {
+    fn num_actions(&self) -> usize {
+        self.config.num_actions()
+    }
+
+    fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    fn select_action(&mut self, rng: &mut dyn RngCore) -> usize {
+        assert!(self.pending.is_none(), "select_action called with an observation pending");
+        let u: f64 = rand::Rng::gen(rng);
+        let mut acc = 0.0;
+        let mut chosen = self.probs.len() - 1;
+        for (a, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                chosen = a;
+                break;
+            }
+        }
+        self.pending = Some(chosen);
+        chosen
+    }
+
+    fn observe(&mut self, utility: f64) {
+        assert!(utility.is_finite(), "utility must be finite, got {utility}");
+        let j = self.pending.take().expect("observe called without a pending action");
+        self.stage += 1;
+
+        // Eq. (3-5): T ← decay(T); column j += (u/pⁿ(j)) · pⁿ.
+        if self.config.recency() == RecencyMode::Exponential {
+            self.t.scale(1.0 - self.config.epsilon());
+        }
+        let p_j = self.probs[j];
+        debug_assert!(p_j > 0.0, "played action had zero probability");
+        let scale = utility / p_j;
+        let m = self.config.num_actions();
+        for r in 0..m {
+            self.t[(r, j)] += scale * self.probs[r];
+        }
+
+        // Play-frequency average (same weighting scheme as T).
+        match self.config.recency() {
+            RecencyMode::Exponential => {
+                let eps = self.config.epsilon();
+                for (a, f) in self.freq.iter_mut().enumerate() {
+                    *f = (1.0 - eps) * *f + if a == j { eps } else { 0.0 };
+                }
+            }
+            RecencyMode::PaperLiteral | RecencyMode::Uniform => {
+                // Uniform 1/n play counts (literal mode reuses them).
+                let n = self.stage as f64;
+                for (a, f) in self.freq.iter_mut().enumerate() {
+                    let count = *f * (n - 1.0) + if a == j { 1.0 } else { 0.0 };
+                    *f = count / n;
+                }
+            }
+        }
+
+        // Eq. (3-6) and the probability update.
+        self.update_regrets();
+        let mut regret_row: Vec<f64> = self.q.row(j).to_vec();
+        if self.config.conditional() {
+            // Conditional regret: normalise row j by the play frequency
+            // of j (floored at the exploration rate to stay bounded).
+            let floor = policy::exploration_floor(m, self.config.delta());
+            let f_j = self.freq[j].max(floor);
+            for r in regret_row.iter_mut() {
+                *r /= f_j;
+            }
+        }
+        policy::update_probabilities(
+            &mut self.probs,
+            j,
+            &regret_row,
+            self.config.delta(),
+            self.config.mu(),
+        );
+    }
+
+    fn max_regret(&self) -> f64 {
+        let m = self.q.max();
+        if m.is_finite() {
+            m.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    fn stage(&self) -> u64 {
+        self.stage
+    }
+
+    fn pending_action(&self) -> Option<usize> {
+        self.pending
+    }
+
+    fn reset_actions(&mut self, num_actions: usize) {
+        assert!(self.pending.is_none(), "cannot reset actions with an observation pending");
+        let config = self
+            .config
+            .with_num_actions(num_actions)
+            .expect("reset_actions requires at least one action");
+        self.config = config;
+        self.probs = vec![1.0 / num_actions as f64; num_actions];
+        self.t = Matrix::zeros(num_actions, num_actions);
+        self.q = Matrix::zeros(num_actions, num_actions);
+        self.freq = vec![1.0 / num_actions as f64; num_actions];
+        // Restart the stage clock so Uniform-mode averaging matches a
+        // fresh learner (and stays consistent with HistoryRths).
+        self.stage = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rths_math::vector::is_distribution;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn config(m: usize) -> RthsConfig {
+        RthsConfig::builder(m).epsilon(0.1).delta(0.1).mu(100.0).build().unwrap()
+    }
+
+    #[test]
+    fn initial_strategy_is_uniform_with_zero_regret() {
+        let l = RthsLearner::new(config(4));
+        assert_eq!(l.probabilities(), &[0.25; 4]);
+        assert_eq!(l.max_regret(), 0.0);
+        assert_eq!(l.stage(), 0);
+        assert_eq!(l.pending_action(), None);
+    }
+
+    #[test]
+    fn protocol_select_then_observe() {
+        let mut l = RthsLearner::new(config(3));
+        let mut r = rng(1);
+        let a = l.select_action(&mut r);
+        assert_eq!(l.pending_action(), Some(a));
+        l.observe(10.0);
+        assert_eq!(l.stage(), 1);
+        assert_eq!(l.pending_action(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation pending")]
+    fn double_select_panics() {
+        let mut l = RthsLearner::new(config(2));
+        let mut r = rng(2);
+        l.select_action(&mut r);
+        l.select_action(&mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending action")]
+    fn observe_without_select_panics() {
+        let mut l = RthsLearner::new(config(2));
+        l.observe(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_utility_panics() {
+        let mut l = RthsLearner::new(config(2));
+        let mut r = rng(3);
+        l.select_action(&mut r);
+        l.observe(f64::NAN);
+    }
+
+    #[test]
+    fn probabilities_remain_distribution_with_floor() {
+        let mut l = RthsLearner::new(config(5));
+        let mut r = rng(4);
+        let floor = crate::policy::exploration_floor(5, 0.1);
+        for s in 0..500 {
+            let a = l.select_action(&mut r);
+            // Adversarial utility pattern.
+            l.observe(if a == 0 { 100.0 } else { 1.0 + (s % 7) as f64 });
+            assert!(is_distribution(l.probabilities(), 1e-9), "stage {s}");
+            for &p in l.probabilities() {
+                assert!(p >= floor - 1e-12, "floor violated: {p} < {floor}");
+            }
+        }
+    }
+
+    #[test]
+    fn learner_concentrates_on_dominant_action() {
+        // Action 1 always pays 10x more; the learner should favour it.
+        let mut l = RthsLearner::new(config(2));
+        let mut r = rng(5);
+        for _ in 0..2000 {
+            let a = l.select_action(&mut r);
+            l.observe(if a == 1 { 100.0 } else { 10.0 });
+        }
+        assert!(
+            l.probabilities()[1] > 0.8,
+            "strategy did not concentrate: {:?}",
+            l.probabilities()
+        );
+    }
+
+    #[test]
+    fn tracks_reward_reversal() {
+        // The defining feature versus uniform averaging: after the best
+        // action flips, the exponential learner re-concentrates.
+        let mut l = RthsLearner::new(config(2));
+        let mut r = rng(6);
+        for _ in 0..1500 {
+            let a = l.select_action(&mut r);
+            l.observe(if a == 0 { 100.0 } else { 10.0 });
+        }
+        assert!(l.probabilities()[0] > 0.8, "phase 1 failed: {:?}", l.probabilities());
+        for _ in 0..1500 {
+            let a = l.select_action(&mut r);
+            l.observe(if a == 1 { 100.0 } else { 10.0 });
+        }
+        assert!(l.probabilities()[1] > 0.8, "did not track reversal: {:?}", l.probabilities());
+    }
+
+    #[test]
+    fn regret_matrix_diagonal_is_zero() {
+        let mut l = RthsLearner::new(config(3));
+        let mut r = rng(7);
+        for _ in 0..50 {
+            let a = l.select_action(&mut r);
+            l.observe(a as f64 * 10.0);
+        }
+        for j in 0..3 {
+            assert_eq!(l.regret(j, j), 0.0);
+        }
+    }
+
+    #[test]
+    fn regrets_are_nonnegative() {
+        let mut l = RthsLearner::new(config(4));
+        let mut r = rng(8);
+        for s in 0..300 {
+            let a = l.select_action(&mut r);
+            l.observe((a + s % 3) as f64);
+            for j in 0..4 {
+                for k in 0..4 {
+                    assert!(l.regret(j, k) >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_proxy_matrix_is_bounded() {
+        // With decay, ε·T stays within the utility scale; boundedness is
+        // what the PaperLiteral mode loses.
+        let cfg = RthsConfig::builder(3).epsilon(0.1).delta(0.1).mu(100.0).build().unwrap();
+        let mut l = RthsLearner::new(cfg);
+        let mut r = rng(9);
+        let u_max = 100.0;
+        for _ in 0..3000 {
+            let _ = l.select_action(&mut r);
+            l.observe(u_max);
+        }
+        // Bound: |T| ≤ u_max · max_importance / ε where importance ≤ m/δ.
+        let bound = u_max * (3.0 / 0.1) / 0.1;
+        assert!(l.proxy_matrix().max() <= bound, "T = {}", l.proxy_matrix().max());
+    }
+
+    #[test]
+    fn paper_literal_mode_regret_grows_unboundedly() {
+        // Documents the Eq. (3-5) typo: without decay the regret estimate
+        // of a never-chosen better action grows linearly.
+        let cfg = RthsConfig::builder(2)
+            .epsilon(0.1)
+            .delta(0.1)
+            .mu(1e12) // effectively disable the probability response
+            .recency(RecencyMode::PaperLiteral)
+            .build()
+            .unwrap();
+        let mut l = RthsLearner::new(cfg);
+        let mut r = rng(10);
+        let mut mid = 0.0;
+        for s in 0..4000 {
+            let a = l.select_action(&mut r);
+            l.observe(if a == 1 { 50.0 } else { 1.0 });
+            if s == 1999 {
+                mid = l.max_regret();
+            }
+        }
+        let end = l.max_regret();
+        assert!(
+            end > 1.5 * mid && end > 10.0,
+            "literal-mode regret did not grow: mid {mid}, end {end}"
+        );
+    }
+
+    #[test]
+    fn reset_actions_reinitialises() {
+        let mut l = RthsLearner::new(config(3));
+        let mut r = rng(11);
+        for _ in 0..20 {
+            let _ = l.select_action(&mut r);
+            l.observe(5.0);
+        }
+        l.reset_actions(5);
+        assert_eq!(l.num_actions(), 5);
+        assert_eq!(l.probabilities(), &[0.2; 5]);
+        assert_eq!(l.max_regret(), 0.0);
+        assert_eq!(l.stage(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut l = RthsLearner::new(config(3));
+            let mut r = rng(seed);
+            let mut actions = Vec::new();
+            for _ in 0..100 {
+                let a = l.select_action(&mut r);
+                actions.push(a);
+                l.observe((a * 3 + 1) as f64);
+            }
+            (actions, l.probabilities().to_vec())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0);
+    }
+
+    #[test]
+    fn play_frequencies_track_play() {
+        let mut l = RthsLearner::new(config(2));
+        let mut r = rng(20);
+        for _ in 0..800 {
+            let a = l.select_action(&mut r);
+            // Action 1 pays far more -> learner concentrates on it.
+            l.observe(if a == 1 { 100.0 } else { 1.0 });
+        }
+        let f = l.play_frequencies();
+        assert!(f[1] > 0.6, "frequencies did not follow play: {f:?}");
+        assert!((f[0] + f[1] - 1.0).abs() < 1e-6, "frequencies not normalised: {f:?}");
+    }
+
+    #[test]
+    fn conditional_mode_recovers_faster_from_dead_action() {
+        // Mini failure scenario: action 0 pays 100 for 1500 stages, then
+        // drops to 0 while action 1 pays 50. Conditional normalisation
+        // should evacuate faster (spend fewer post-shift stages on 0).
+        let run = |conditional: bool| {
+            let cfg = RthsConfig::builder(2)
+                .epsilon(0.01)
+                .delta(0.1)
+                .mu(200.0)
+                .conditional(conditional)
+                .build()
+                .unwrap();
+            let mut l = RthsLearner::new(cfg);
+            let mut r = rng(21);
+            for _ in 0..1500 {
+                let a = l.select_action(&mut r);
+                l.observe(if a == 0 { 100.0 } else { 50.0 });
+            }
+            let mut dead_plays = 0;
+            for _ in 0..1500 {
+                let a = l.select_action(&mut r);
+                if a == 0 {
+                    dead_plays += 1;
+                }
+                l.observe(if a == 0 { 0.0 } else { 50.0 });
+            }
+            dead_plays
+        };
+        let plain = run(false);
+        let conditional = run(true);
+        assert!(
+            conditional < plain,
+            "conditional ({conditional}) should evacuate faster than plain ({plain})"
+        );
+    }
+
+    #[test]
+    fn default_is_usable() {
+        let mut l = RthsLearner::default();
+        let mut r = rng(12);
+        let a = l.select_action(&mut r);
+        l.observe(1.0);
+        assert!(a < 2);
+    }
+}

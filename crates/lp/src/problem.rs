@@ -1,0 +1,214 @@
+//! Problem construction API.
+
+use crate::simplex;
+use crate::solution::{LpError, Solution};
+
+/// Direction of optimisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Maximise the objective `c·x`.
+    Maximize,
+    /// Minimise the objective `c·x`.
+    Minimize,
+}
+
+/// Relation of a linear constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub coeffs: Vec<f64>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+///
+/// All decision variables are implicitly constrained to `x ≥ 0`, which is
+/// the natural domain for occupation measures and mixed strategies — the
+/// two uses in this workspace. Free variables can be modelled as a
+/// difference of two non-negative ones by the caller if ever required.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Objective,
+    costs: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Starts a maximisation problem with objective coefficients `costs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty or contains non-finite values.
+    pub fn maximize(costs: Vec<f64>) -> Self {
+        Self::new(Objective::Maximize, costs)
+    }
+
+    /// Starts a minimisation problem with objective coefficients `costs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty or contains non-finite values.
+    pub fn minimize(costs: Vec<f64>) -> Self {
+        Self::new(Objective::Minimize, costs)
+    }
+
+    fn new(objective: Objective, costs: Vec<f64>) -> Self {
+        assert!(!costs.is_empty(), "need at least one variable");
+        assert!(costs.iter().all(|c| c.is_finite()), "objective coefficients must be finite");
+        Self { objective, costs, constraints: Vec::new() }
+    }
+
+    /// Adds the constraint `coeffs · x <relation> rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::DimensionMismatch`] if `coeffs.len()` differs
+    /// from the number of variables, or [`LpError::NonFinite`] if any
+    /// coefficient or the right-hand side is not finite.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<&mut Self, LpError> {
+        if coeffs.len() != self.costs.len() {
+            return Err(LpError::DimensionMismatch {
+                expected: self.costs.len(),
+                found: coeffs.len(),
+            });
+        }
+        if !rhs.is_finite() || coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::NonFinite);
+        }
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+        Ok(self)
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Direction of optimisation.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Objective coefficients.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    pub(crate) fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — no point satisfies all constraints.
+    /// * [`LpError::Unbounded`] — the objective can grow without limit.
+    /// * [`LpError::IterationLimit`] — the pivot limit was exhausted
+    ///   (should not occur with Bland's rule; indicates numerical trouble).
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        simplex::solve(self)
+    }
+
+    /// Evaluates the objective at a given point (useful for verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of variables.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.costs.len(), "point has wrong dimension");
+        rths_math::vector::dot(&self.costs, x)
+    }
+
+    /// Checks feasibility of a point within tolerance `tol`
+    /// (including non-negativity).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.costs.len() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = rths_math::vector::dot(&c.coeffs, x);
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_shape() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 2.0, 3.0]);
+        lp.add_constraint(vec![1.0, 1.0, 1.0], Relation::Le, 10.0).unwrap();
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.objective(), Objective::Maximize);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 2.0]);
+        let err = lp.add_constraint(vec![1.0], Relation::Le, 1.0).unwrap_err();
+        assert_eq!(err, LpError::DimensionMismatch { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        assert_eq!(
+            lp.add_constraint(vec![f64::NAN], Relation::Le, 1.0).unwrap_err(),
+            LpError::NonFinite
+        );
+        assert_eq!(
+            lp.add_constraint(vec![1.0], Relation::Le, f64::INFINITY).unwrap_err(),
+            LpError::NonFinite
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_objective_panics() {
+        let _ = LinearProgram::maximize(vec![]);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0], Relation::Le, 1.0).unwrap();
+        assert!(lp.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.9, 0.2], 1e-9));
+        assert!(!lp.is_feasible(&[-0.1, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.5], 1e-9));
+    }
+
+    #[test]
+    fn objective_value_is_dot_product() {
+        let lp = LinearProgram::minimize(vec![2.0, -1.0]);
+        assert_eq!(lp.objective_value(&[3.0, 4.0]), 2.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: simplex results verified against brute force.
+//!
+//! For random small LPs with only `≤` constraints and non-negative rhs,
+//! the optimum of `max c·x` lies at a vertex of the polytope. We verify
+//! the simplex objective (a) is attained by a feasible point, and (b) is
+//! not beaten by any point on a dense grid / random sampling — a cheap but
+//! effective oracle for 2-variable problems.
+
+use proptest::prelude::*;
+use rths_lp::{LinearProgram, LpError, Relation};
+
+fn small_lp() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<f64>, f64)>)> {
+    let costs = prop::collection::vec(-5.0..5.0f64, 2);
+    let rows = prop::collection::vec(
+        (prop::collection::vec(0.0..4.0f64, 2), 1.0..8.0f64),
+        1..5,
+    );
+    (costs, rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simplex_beats_grid_search((costs, rows) in small_lp()) {
+        // Ensure boundedness: add a box constraint.
+        let mut lp = LinearProgram::maximize(costs.clone());
+        for (coeffs, rhs) in &rows {
+            lp.add_constraint(coeffs.clone(), Relation::Le, *rhs).unwrap();
+        }
+        lp.add_constraint(vec![1.0, 0.0], Relation::Le, 10.0).unwrap();
+        lp.add_constraint(vec![0.0, 1.0], Relation::Le, 10.0).unwrap();
+
+        let sol = lp.solve().expect("bounded, origin-feasible LP must solve");
+        prop_assert!(lp.is_feasible(sol.x(), 1e-7));
+        let obj = lp.objective_value(sol.x());
+        prop_assert!((obj - sol.objective()).abs() < 1e-7);
+
+        // Grid search oracle.
+        let mut best = f64::NEG_INFINITY;
+        let steps = 60;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let x = [10.0 * i as f64 / steps as f64, 10.0 * j as f64 / steps as f64];
+                if lp.is_feasible(&x, 1e-9) {
+                    best = best.max(lp.objective_value(&x));
+                }
+            }
+        }
+        prop_assert!(sol.objective() >= best - 1e-6,
+            "simplex {} < grid {best}", sol.objective());
+    }
+
+    #[test]
+    fn feasible_lp_with_equalities_solves_or_reports(
+        pi in prop::collection::vec(0.1..1.0f64, 2..4),
+        costs_raw in prop::collection::vec(0.0..10.0f64, 8..12),
+    ) {
+        // Occupation-measure-like LP: variables grouped per "state", each
+        // group must sum to pi[s] (normalised), maximise random utility.
+        let groups = pi.len();
+        let per_group = 3usize;
+        let n = groups * per_group;
+        let total: f64 = pi.iter().sum();
+        let pi: Vec<f64> = pi.iter().map(|p| p / total).collect();
+        let costs: Vec<f64> = (0..n).map(|i| costs_raw[i % costs_raw.len()]).collect();
+
+        let mut lp = LinearProgram::maximize(costs.clone());
+        for (s, &mass) in pi.iter().enumerate() {
+            let mut row = vec![0.0; n];
+            for a in 0..per_group {
+                row[s * per_group + a] = 1.0;
+            }
+            lp.add_constraint(row, Relation::Eq, mass).unwrap();
+        }
+        let sol = lp.solve().expect("decomposable LP is feasible");
+        prop_assert!(lp.is_feasible(sol.x(), 1e-7));
+
+        // The optimum is the pi-weighted max per group — check exactly.
+        let expected: f64 = pi.iter().enumerate().map(|(s, &mass)| {
+            let best = (0..per_group)
+                .map(|a| costs[s * per_group + a])
+                .fold(f64::NEG_INFINITY, f64::max);
+            mass * best
+        }).sum();
+        prop_assert!((sol.objective() - expected).abs() < 1e-6,
+            "lp {} vs analytic {expected}", sol.objective());
+    }
+
+    #[test]
+    fn contradictory_bounds_are_infeasible(a in 1.0..5.0f64, b in 1.0..5.0f64) {
+        prop_assume!(a < b);
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_constraint(vec![1.0], Relation::Le, a).unwrap();
+        lp.add_constraint(vec![1.0], Relation::Ge, b).unwrap();
+        prop_assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_zero_rhs_lps_terminate(
+        costs in prop::collection::vec(0.0..100.0f64, 4..20),
+        rows in prop::collection::vec(prop::collection::vec(-5.0..5.0f64, 4..20), 1..12),
+    ) {
+        // CE-polytope-like structure: many ≤-0 rows plus a simplex
+        // equality — maximally degenerate (every basic solution has most
+        // variables at zero). This class cycled before the Bland-mode
+        // leaving-rule fix; now it must always terminate with a feasible
+        // optimum.
+        let n = costs.len();
+        let mut lp = LinearProgram::maximize(costs);
+        for row in rows {
+            let mut r = vec![0.0; n];
+            for (dst, &v) in r.iter_mut().zip(&row) {
+                *dst = v;
+            }
+            lp.add_constraint(r, Relation::Le, 0.0).unwrap();
+        }
+        lp.add_constraint(vec![1.0; n], Relation::Eq, 1.0).unwrap();
+        match lp.solve() {
+            Ok(sol) => prop_assert!(lp.is_feasible(sol.x(), 1e-6)),
+            // The random ≤-0 rows can make the simplex face infeasible
+            // (e.g. all-positive row forces x=0, contradicting Σx=1).
+            Err(LpError::Infeasible) => {}
+            Err(e) => prop_assert!(false, "unexpected solver error: {e}"),
+        }
+    }
+
+    #[test]
+    fn scaling_costs_scales_objective(k in 0.1..10.0f64) {
+        let build = |scale: f64| {
+            let mut lp = LinearProgram::maximize(vec![2.0 * scale, 1.0 * scale]);
+            lp.add_constraint(vec![1.0, 1.0], Relation::Le, 4.0).unwrap();
+            lp.add_constraint(vec![1.0, 0.0], Relation::Le, 3.0).unwrap();
+            lp.solve().unwrap().objective()
+        };
+        let base = build(1.0);
+        let scaled = build(k);
+        prop_assert!((scaled - k * base).abs() < 1e-6 * (1.0 + base.abs() * k));
+    }
+}

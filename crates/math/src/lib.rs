@@ -1,0 +1,36 @@
+//! Dense linear algebra and statistics substrate for the RTHS reproduction.
+//!
+//! This crate provides the small numeric toolbox shared by every other crate
+//! in the workspace:
+//!
+//! * [`Matrix`] — a dense, row-major `f64` matrix used for regret matrices
+//!   (`rths-core`), Markov transition kernels (`rths-stoch`), and simplex
+//!   tableaus (`rths-lp`).
+//! * [`stats`] — summary statistics, [Jain's fairness
+//!   index](stats::jain_index), and quantiles used by the evaluation
+//!   harness.
+//! * [`ewma`] — the exponentially recency-weighted averaging scheme that is
+//!   the mathematical heart of regret *tracking* (Sutton & Barto's
+//!   constant-step-size averaging, reference \[15\] in the paper).
+//! * [`assert`](mod@assert) — approximate floating-point comparison
+//!   helpers used across the workspace test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use rths_math::Matrix;
+//!
+//! let mut m = Matrix::zeros(2, 2);
+//! m[(0, 1)] = 3.0;
+//! let t = m.transpose();
+//! assert_eq!(t[(1, 0)], 3.0);
+//! ```
+
+pub mod assert;
+pub mod ewma;
+pub mod matrix;
+pub mod stats;
+pub mod vector;
+
+pub use ewma::Ewma;
+pub use matrix::Matrix;

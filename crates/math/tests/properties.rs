@@ -1,0 +1,113 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use rths_math::{ewma, stats, Matrix};
+use rths_math::vector;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..max_len)
+}
+
+fn positive_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-6..1e6f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn jain_index_is_within_bounds(v in positive_vec(64)) {
+        let j = stats::jain_index(&v);
+        let n = v.len() as f64;
+        prop_assert!(j >= 1.0 / n - 1e-9, "jain {j} below 1/n");
+        prop_assert!(j <= 1.0 + 1e-9, "jain {j} above 1");
+    }
+
+    #[test]
+    fn jain_index_is_scale_invariant(v in positive_vec(32), k in 1e-3..1e3f64) {
+        let scaled: Vec<f64> = v.iter().map(|x| x * k).collect();
+        let a = stats::jain_index(&v);
+        let b = stats::jain_index(&scaled);
+        prop_assert!((a - b).abs() < 1e-6, "jain not scale invariant: {a} vs {b}");
+    }
+
+    #[test]
+    fn normalize_yields_distribution(mut v in positive_vec(64)) {
+        vector::normalize(&mut v);
+        prop_assert!(vector::is_distribution(&v, 1e-9));
+    }
+
+    #[test]
+    fn clamp_to_simplex_handles_arbitrary_input(mut v in finite_vec(64)) {
+        vector::clamp_to_simplex(&mut v);
+        prop_assert!(vector::is_distribution(&v, 1e-9));
+    }
+
+    #[test]
+    fn ewma_recursive_equals_explicit(eps in 0.01..1.0f64, xs in finite_vec(64)) {
+        let mut e = rths_math::Ewma::new(eps);
+        for &x in &xs {
+            e.update(x);
+        }
+        let explicit = ewma::weighted_sum(eps, &xs);
+        let scale = explicit.abs().max(1.0);
+        prop_assert!((e.value() - explicit).abs() / scale < 1e-9);
+    }
+
+    #[test]
+    fn ewma_stays_within_input_hull(eps in 0.01..1.0f64, xs in prop::collection::vec(-1.0..1.0f64, 1..128)) {
+        let mut e = rths_math::Ewma::new(eps);
+        for &x in &xs {
+            e.update(x);
+            prop_assert!(e.value().abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn accumulator_agrees_with_batch(v in finite_vec(128)) {
+        let mut acc = stats::Accumulator::new();
+        for &x in &v {
+            acc.push(x);
+        }
+        let scale = stats::mean(&v).abs().max(1.0);
+        prop_assert!((acc.mean() - stats::mean(&v)).abs() / scale < 1e-9);
+        let var_scale = stats::variance(&v).max(1.0);
+        prop_assert!((acc.variance() - stats::variance(&v)).abs() / var_scale < 1e-6);
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matrix_vec_mul_linear(a in -10.0..10.0f64) {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = [a, 2.0 * a];
+        let mv = m.mul_vec(&v);
+        let unit = m.mul_vec(&[1.0, 2.0]);
+        prop_assert!((mv[0] - a * unit[0]).abs() < 1e-9 * (1.0 + unit[0].abs() * a.abs()));
+        prop_assert!((mv[1] - a * unit[1]).abs() < 1e-9 * (1.0 + unit[1].abs() * a.abs()));
+    }
+
+    #[test]
+    fn quantile_is_monotone(v in finite_vec(64), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&v, lo).unwrap();
+        let b = stats::quantile(&v, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn argmax_returns_maximal_element(v in finite_vec(64)) {
+        let i = vector::argmax(&v).unwrap();
+        for &x in &v {
+            prop_assert!(v[i] >= x);
+        }
+    }
+}

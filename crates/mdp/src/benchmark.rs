@@ -1,0 +1,184 @@
+//! High-level benchmark facade used by the figure harnesses.
+//!
+//! Wraps the Markov bandwidth models from `rths-stoch` and picks the right
+//! computation path (exact enumeration vs Monte Carlo) automatically.
+
+use rand::Rng;
+use rths_stoch::bandwidth::MarkovBandwidth;
+
+use crate::welfare;
+
+/// Threshold on `|Y|` below which exact enumeration is used.
+const EXACT_STATE_LIMIT: usize = 60_000;
+
+/// The centralized MDP benchmark for a concrete system instance.
+#[derive(Debug, Clone)]
+pub struct MdpBenchmark {
+    levels: Vec<Vec<f64>>,
+    stationary: Vec<Vec<f64>>,
+    num_peers: usize,
+    demand: Option<f64>,
+}
+
+impl MdpBenchmark {
+    /// Builds the benchmark from per-helper Markov bandwidth processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `helpers` is empty or a helper's chain has no stationary
+    /// distribution (reducible chain), or `demand` is non-positive.
+    pub fn from_processes(
+        helpers: &[MarkovBandwidth],
+        num_peers: usize,
+        demand: Option<f64>,
+    ) -> Self {
+        assert!(!helpers.is_empty(), "need at least one helper");
+        if let Some(d) = demand {
+            assert!(d > 0.0 && d.is_finite(), "demand must be positive and finite");
+        }
+        let levels: Vec<Vec<f64>> = helpers.iter().map(|h| h.levels().to_vec()).collect();
+        let stationary: Vec<Vec<f64>> = helpers
+            .iter()
+            .map(|h| {
+                h.chain()
+                    .stationary_distribution()
+                    .expect("helper bandwidth chain must be irreducible")
+            })
+            .collect();
+        Self { levels, stationary, num_peers, demand }
+    }
+
+    /// Builds the benchmark from explicit ladders and stationary vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch (validated downstream).
+    pub fn from_parts(
+        levels: Vec<Vec<f64>>,
+        stationary: Vec<Vec<f64>>,
+        num_peers: usize,
+        demand: Option<f64>,
+    ) -> Self {
+        assert_eq!(levels.len(), stationary.len(), "one stationary dist per helper");
+        Self { levels, stationary, num_peers, demand }
+    }
+
+    /// Number of peers in the instance.
+    pub fn num_peers(&self) -> usize {
+        self.num_peers
+    }
+
+    /// Size of the joint helper state space `|Y|`.
+    pub fn num_states(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).product()
+    }
+
+    /// The optimal expected social welfare (`R(s*)` in §IV.A): exact when
+    /// `|Y|` is small, Monte Carlo (100k samples) otherwise.
+    pub fn optimal_welfare<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.num_states() <= EXACT_STATE_LIMIT {
+            welfare::expected_optimal_welfare_exact(
+                &self.levels,
+                &self.stationary,
+                self.num_peers,
+                self.demand,
+                EXACT_STATE_LIMIT,
+            )
+        } else {
+            welfare::expected_optimal_welfare_mc(
+                &self.levels,
+                &self.stationary,
+                self.num_peers,
+                self.demand,
+                100_000,
+                rng,
+            )
+        }
+    }
+
+    /// Per-peer fair share of the optimum — the benchmark line for the
+    /// per-peer utility comparison (Fig. 2 normalised per peer).
+    pub fn optimal_per_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.num_peers == 0 {
+            return 0.0;
+        }
+        self.optimal_welfare(rng) / self.num_peers as f64
+    }
+
+    /// Optimal loads for a *specific* capacity realisation — the
+    /// state-wise policy the LP would prescribe.
+    pub fn optimal_loads_for(&self, capacities: &[f64]) -> crate::assignment::Allocation {
+        crate::assignment::optimal_loads(capacities, self.num_peers, self.demand)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rths_stoch::rng::seeded_rng;
+
+    #[test]
+    fn paper_small_scale_benchmark() {
+        // Fig. 2 configuration: N = 10 peers, H = 4 helpers.
+        let mut rng = seeded_rng(1);
+        let helpers: Vec<MarkovBandwidth> =
+            (0..4).map(|_| MarkovBandwidth::paper_default(&mut rng)).collect();
+        let bench = MdpBenchmark::from_processes(&helpers, 10, None);
+        assert_eq!(bench.num_states(), 81);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(2);
+        let w = bench.optimal_welfare(&mut rng2);
+        // Uncapped + covered: Σ_j E[C_j] = 4 × 800.
+        assert!((w - 3200.0).abs() < 1e-6, "welfare {w}");
+        assert!((bench.optimal_per_peer(&mut rng2) - 320.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_scale_falls_back_to_monte_carlo() {
+        let mut rng = seeded_rng(3);
+        let helpers: Vec<MarkovBandwidth> =
+            (0..12).map(|_| MarkovBandwidth::paper_default(&mut rng)).collect();
+        let bench = MdpBenchmark::from_processes(&helpers, 60, None);
+        assert!(bench.num_states() > EXACT_STATE_LIMIT);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(4);
+        let w = bench.optimal_welfare(&mut rng2);
+        // Covered & uncapped: expectation is 12 × 800 exactly; MC noise
+        // only.
+        assert!((w - 9600.0).abs() < 30.0, "welfare {w}");
+    }
+
+    #[test]
+    fn capped_benchmark_bounded_by_total_demand() {
+        let mut rng = seeded_rng(5);
+        let helpers: Vec<MarkovBandwidth> =
+            (0..4).map(|_| MarkovBandwidth::paper_default(&mut rng)).collect();
+        let bench = MdpBenchmark::from_processes(&helpers, 6, Some(400.0));
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(6);
+        let w = bench.optimal_welfare(&mut rng2);
+        assert!(w <= 2400.0 + 1e-9, "welfare {w} above total demand");
+        assert!(w > 2000.0, "welfare {w} suspiciously low");
+    }
+
+    #[test]
+    fn optimal_loads_for_state_covers_helpers() {
+        let bench = MdpBenchmark::from_parts(
+            vec![vec![800.0]; 3],
+            vec![vec![1.0]; 3],
+            7,
+            None,
+        );
+        let alloc = bench.optimal_loads_for(&[700.0, 900.0, 800.0]);
+        assert_eq!(alloc.loads.iter().sum::<usize>(), 7);
+        assert!(alloc.loads.iter().all(|&l| l > 0));
+        assert_eq!(alloc.welfare, 2400.0);
+    }
+
+    #[test]
+    fn zero_peers_edge_case() {
+        let bench =
+            MdpBenchmark::from_parts(vec![vec![800.0]], vec![vec![1.0]], 0, None);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        assert_eq!(bench.optimal_welfare(&mut rng), 0.0);
+        assert_eq!(bench.optimal_per_peer(&mut rng), 0.0);
+    }
+}

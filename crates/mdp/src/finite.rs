@@ -1,0 +1,506 @@
+//! A general finite Markov decision process and its classic solvers.
+//!
+//! §IV.A frames the centralized benchmark "as a cooperative optimization
+//! problem based on the Markov Decision Process (MDP) framework". The
+//! occupation-measure LP in [`crate::occupation`] is one solution route;
+//! this module provides the dynamic-programming routes — **value
+//! iteration** (discounted) and **relative value iteration** (average
+//! reward, the criterion the paper's infinite-horizon objective
+//! `lim sup (1/N)Σ E[u]` actually uses) — for *any* finite MDP, plus a
+//! builder for the helper-selection instance. The three routes
+//! cross-validate each other in tests.
+
+use rths_math::Matrix;
+
+use crate::assignment::helper_welfare;
+
+/// Errors from MDP construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MdpError {
+    /// A transition matrix is not row-stochastic or has the wrong shape.
+    BadTransition {
+        /// Offending action index.
+        action: usize,
+    },
+    /// Shape mismatch between rewards and transitions.
+    ShapeMismatch,
+    /// Iterative solver failed to converge within the iteration budget.
+    NoConvergence,
+}
+
+impl std::fmt::Display for MdpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MdpError::BadTransition { action } => {
+                write!(f, "transition kernel for action {action} is not row-stochastic")
+            }
+            MdpError::ShapeMismatch => write!(f, "reward/transition shapes disagree"),
+            MdpError::NoConvergence => write!(f, "dynamic programming did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for MdpError {}
+
+/// A finite MDP with dense per-action transition kernels.
+#[derive(Debug, Clone)]
+pub struct FiniteMdp {
+    num_states: usize,
+    num_actions: usize,
+    /// `transitions[a]` is the S×S kernel under action `a`.
+    transitions: Vec<Matrix>,
+    /// `rewards[(s, a)]` is the expected one-step reward.
+    rewards: Matrix,
+}
+
+/// Solution of a discounted MDP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscountedSolution {
+    /// Optimal value per state.
+    pub values: Vec<f64>,
+    /// A greedy optimal action per state.
+    pub policy: Vec<usize>,
+    /// Sweeps performed.
+    pub iterations: usize,
+}
+
+/// Solution of an average-reward MDP (unichain assumption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AverageSolution {
+    /// Optimal long-run average reward (gain).
+    pub gain: f64,
+    /// Differential values (bias), normalised so `bias[0] = 0`.
+    pub bias: Vec<f64>,
+    /// A gain-optimal action per state.
+    pub policy: Vec<usize>,
+    /// Sweeps performed.
+    pub iterations: usize,
+}
+
+impl FiniteMdp {
+    /// Creates an MDP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::BadTransition`] or [`MdpError::ShapeMismatch`]
+    /// on malformed inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are zero states or zero actions.
+    pub fn new(transitions: Vec<Matrix>, rewards: Matrix) -> Result<Self, MdpError> {
+        assert!(!transitions.is_empty(), "need at least one action");
+        let num_actions = transitions.len();
+        let num_states = transitions[0].rows();
+        assert!(num_states > 0, "need at least one state");
+        for (a, t) in transitions.iter().enumerate() {
+            if t.shape() != (num_states, num_states) || !t.is_row_stochastic(1e-9) {
+                return Err(MdpError::BadTransition { action: a });
+            }
+        }
+        if rewards.shape() != (num_states, num_actions) {
+            return Err(MdpError::ShapeMismatch);
+        }
+        Ok(Self { num_states, num_actions, transitions, rewards })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of actions.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// One-step reward `r(s, a)`.
+    pub fn reward(&self, state: usize, action: usize) -> f64 {
+        self.rewards[(state, action)]
+    }
+
+    /// Q-value backup `r(s,a) + γ·Σ_s' P(s'|s,a)·v(s')`.
+    fn q_value(&self, state: usize, action: usize, gamma: f64, values: &[f64]) -> f64 {
+        let row = self.transitions[action].row(state);
+        self.rewards[(state, action)] + gamma * rths_math::vector::dot(row, values)
+    }
+
+    /// Discounted value iteration to within `tol` of the fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::NoConvergence`] if `max_iters` sweeps do not
+    /// reach the tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= gamma < 1` and `tol > 0`.
+    pub fn value_iteration(
+        &self,
+        gamma: f64,
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<DiscountedSolution, MdpError> {
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in [0,1)");
+        assert!(tol > 0.0, "tolerance must be positive");
+        let mut values = vec![0.0; self.num_states];
+        for sweep in 1..=max_iters {
+            let mut next = vec![0.0; self.num_states];
+            let mut delta = 0.0f64;
+            for s in 0..self.num_states {
+                let best = (0..self.num_actions)
+                    .map(|a| self.q_value(s, a, gamma, &values))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                delta = delta.max((best - values[s]).abs());
+                next[s] = best;
+            }
+            values = next;
+            // Standard stopping rule: contraction bound on the remaining
+            // error.
+            if delta * gamma / (1.0 - gamma) < tol {
+                let policy = self.greedy_policy(gamma, &values);
+                return Ok(DiscountedSolution { values, policy, iterations: sweep });
+            }
+        }
+        Err(MdpError::NoConvergence)
+    }
+
+    /// Greedy policy with respect to `values`.
+    fn greedy_policy(&self, gamma: f64, values: &[f64]) -> Vec<usize> {
+        (0..self.num_states)
+            .map(|s| {
+                let mut best_a = 0;
+                let mut best_q = f64::NEG_INFINITY;
+                for a in 0..self.num_actions {
+                    let q = self.q_value(s, a, gamma, values);
+                    if q > best_q + 1e-12 {
+                        best_q = q;
+                        best_a = a;
+                    }
+                }
+                best_a
+            })
+            .collect()
+    }
+
+    /// Relative value iteration for the long-run average reward
+    /// criterion (unichain MDPs): iterates `v ← T v − (T v)(s₀)` until
+    /// the span of the increment contracts below `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::NoConvergence`] if the span does not contract
+    /// within `max_iters` sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tol > 0`.
+    pub fn relative_value_iteration(
+        &self,
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<AverageSolution, MdpError> {
+        assert!(tol > 0.0, "tolerance must be positive");
+        // Aperiodicity transform: mix each kernel with the identity so
+        // periodic chains converge too (gain is unchanged).
+        let tau = 0.5;
+        let mut values = vec![0.0; self.num_states];
+        for sweep in 1..=max_iters {
+            let mut backed = vec![0.0; self.num_states];
+            for s in 0..self.num_states {
+                let best = (0..self.num_actions)
+                    .map(|a| {
+                        let row = self.transitions[a].row(s);
+                        let expect = rths_math::vector::dot(row, &values);
+                        self.rewards[(s, a)] + tau * expect + (1.0 - tau) * values[s]
+                    })
+                    .fold(f64::NEG_INFINITY, f64::max);
+                backed[s] = best;
+            }
+            let increments: Vec<f64> =
+                backed.iter().zip(&values).map(|(b, v)| b - v).collect();
+            let span = increments.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - increments.iter().copied().fold(f64::INFINITY, f64::min);
+            let anchor = backed[0];
+            for (v, b) in values.iter_mut().zip(&backed) {
+                *v = b - anchor;
+            }
+            if span < tol {
+                let gain = rths_math::stats::mean(&increments);
+                // Greedy policy for the average criterion uses the same
+                // transformed backup.
+                let policy = (0..self.num_states)
+                    .map(|s| {
+                        let mut best_a = 0;
+                        let mut best_q = f64::NEG_INFINITY;
+                        for a in 0..self.num_actions {
+                            let row = self.transitions[a].row(s);
+                            let q = self.rewards[(s, a)]
+                                + tau * rths_math::vector::dot(row, &values)
+                                + (1.0 - tau) * values[s];
+                            if q > best_q + 1e-12 {
+                                best_q = q;
+                                best_a = a;
+                            }
+                        }
+                        best_a
+                    })
+                    .collect();
+                return Ok(AverageSolution { gain, bias: values, policy, iterations: sweep });
+            }
+        }
+        Err(MdpError::NoConvergence)
+    }
+}
+
+/// Builds the helper-selection MDP of §IV.A: states are joint helper
+/// bandwidth levels (product chain), actions are load vectors (how many
+/// peers each helper serves), rewards are social welfare, and
+/// transitions are *uncontrolled* (assignments do not influence
+/// bandwidth evolution).
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes, or if the instance would be too large
+/// (`|Y| > 10_000` or more than `100_000` load vectors).
+pub fn helper_selection_mdp(
+    levels: &[Vec<f64>],
+    kernels: &[Matrix],
+    num_peers: usize,
+    demand: Option<f64>,
+) -> Result<FiniteMdp, MdpError> {
+    assert_eq!(levels.len(), kernels.len(), "one kernel per helper");
+    assert!(!levels.is_empty(), "need at least one helper");
+    let h = levels.len();
+    let num_y: usize = levels.iter().map(|l| l.len()).product();
+    assert!(num_y <= 10_000, "joint state space too large: {num_y}");
+
+    // Enumerate load vectors with Σ n_j = num_peers.
+    let mut loads: Vec<Vec<usize>> = Vec::new();
+    let mut stack = vec![0usize; h];
+    enumerate_loads(&mut loads, &mut stack, 0, num_peers);
+    assert!(loads.len() <= 100_000, "too many assignments: {}", loads.len());
+
+    // Joint transition kernel: product of per-helper kernels,
+    // independent of the action.
+    let mut joint = Matrix::zeros(num_y, num_y);
+    for y in 0..num_y {
+        let from = decode_state(y, levels);
+        for y2 in 0..num_y {
+            let to = decode_state(y2, levels);
+            let mut p = 1.0;
+            for j in 0..h {
+                p *= kernels[j][(from[j], to[j])];
+            }
+            joint[(y, y2)] = p;
+        }
+    }
+
+    // Rewards: welfare of each load vector under each joint state's
+    // capacities.
+    let mut rewards = Matrix::zeros(num_y, loads.len());
+    for y in 0..num_y {
+        let idx = decode_state(y, levels);
+        let caps: Vec<f64> = (0..h).map(|j| levels[j][idx[j]]).collect();
+        for (a, load) in loads.iter().enumerate() {
+            let w: f64 = load
+                .iter()
+                .zip(&caps)
+                .map(|(&n, &c)| helper_welfare(c, n, demand))
+                .sum();
+            rewards[(y, a)] = w;
+        }
+    }
+
+    let transitions = vec![joint; loads.len()];
+    FiniteMdp::new(transitions, rewards)
+}
+
+fn enumerate_loads(out: &mut Vec<Vec<usize>>, stack: &mut Vec<usize>, j: usize, left: usize) {
+    if j == stack.len() - 1 {
+        stack[j] = left;
+        out.push(stack.clone());
+        return;
+    }
+    for take in 0..=left {
+        stack[j] = take;
+        enumerate_loads(out, stack, j + 1, left - take);
+    }
+}
+
+fn decode_state(mut y: usize, levels: &[Vec<f64>]) -> Vec<usize> {
+    let h = levels.len();
+    let mut idx = vec![0usize; h];
+    for j in (0..h).rev() {
+        idx[j] = y % levels[j].len();
+        y /= levels[j].len();
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rths_stoch::markov::MarkovChain;
+
+    /// Two-state, two-action MDP with a known discounted solution:
+    /// action 0 stays (reward 1 in state 0, 0 in state 1), action 1
+    /// jumps to the other state (reward 0 everywhere).
+    fn toy() -> FiniteMdp {
+        let stay = Matrix::identity(2);
+        let jump = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let rewards = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+        FiniteMdp::new(vec![stay, jump], rewards).unwrap()
+    }
+
+    #[test]
+    fn toy_value_iteration() {
+        let mdp = toy();
+        let sol = mdp.value_iteration(0.9, 1e-10, 10_000).unwrap();
+        // State 0: stay forever -> 1/(1-0.9) = 10.
+        assert!((sol.values[0] - 10.0).abs() < 1e-6, "v0 = {}", sol.values[0]);
+        // State 1: jump (1 step, no reward), then stay: 0.9 * 10 = 9.
+        assert!((sol.values[1] - 9.0).abs() < 1e-6, "v1 = {}", sol.values[1]);
+        assert_eq!(sol.policy, vec![0, 1]);
+    }
+
+    #[test]
+    fn toy_average_reward() {
+        let mdp = toy();
+        let sol = mdp.relative_value_iteration(1e-10, 100_000).unwrap();
+        // Long-run: sit in state 0 earning 1 per step.
+        assert!((sol.gain - 1.0).abs() < 1e-6, "gain = {}", sol.gain);
+        assert_eq!(sol.policy[0], 0);
+        assert_eq!(sol.policy[1], 1);
+    }
+
+    #[test]
+    fn rejects_bad_transition() {
+        let bad = Matrix::from_rows(&[&[0.9, 0.2], &[0.5, 0.5]]);
+        let r = Matrix::zeros(2, 1);
+        assert_eq!(
+            FiniteMdp::new(vec![bad], r).unwrap_err(),
+            MdpError::BadTransition { action: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let t = Matrix::identity(2);
+        let r = Matrix::zeros(3, 1);
+        assert_eq!(FiniteMdp::new(vec![t], r).unwrap_err(), MdpError::ShapeMismatch);
+    }
+
+    #[test]
+    fn helper_mdp_gain_matches_decomposed_optimum() {
+        // 2 helpers on the paper ladder, 3 peers, uncapped: the
+        // average-reward optimum must equal Σ_y π(y)·W*(y) — computed
+        // independently by the welfare module.
+        let chain = MarkovChain::sticky_birth_death(3, 0.9, 0);
+        let levels = vec![vec![700.0, 800.0, 900.0]; 2];
+        let kernels = vec![chain.transition().clone(); 2];
+        let mdp = helper_selection_mdp(&levels, &kernels, 3, None).unwrap();
+        assert_eq!(mdp.num_states(), 9);
+        assert_eq!(mdp.num_actions(), 4); // load vectors (0,3),(1,2),(2,1),(3,0)
+
+        let sol = mdp.relative_value_iteration(1e-9, 200_000).unwrap();
+        let pi = chain.stationary_distribution().unwrap();
+        let expected = crate::welfare::expected_optimal_welfare_exact(
+            &levels,
+            &vec![pi.clone(); 2],
+            3,
+            None,
+            1000,
+        );
+        assert!(
+            (sol.gain - expected).abs() < 1e-6,
+            "RVI gain {} vs decomposed {expected}",
+            sol.gain
+        );
+    }
+
+    #[test]
+    fn helper_mdp_gain_matches_decomposed_capped() {
+        let chain = MarkovChain::sticky_birth_death(2, 0.8, 0);
+        let levels = vec![vec![600.0, 900.0], vec![500.0, 800.0]];
+        let kernels = vec![chain.transition().clone(); 2];
+        let mdp = helper_selection_mdp(&levels, &kernels, 4, Some(300.0)).unwrap();
+        let sol = mdp.relative_value_iteration(1e-9, 200_000).unwrap();
+        let pi = chain.stationary_distribution().unwrap();
+        let expected = crate::welfare::expected_optimal_welfare_exact(
+            &levels,
+            &vec![pi.clone(); 2],
+            4,
+            Some(300.0),
+            1000,
+        );
+        assert!(
+            (sol.gain - expected).abs() < 1e-6,
+            "RVI gain {} vs decomposed {expected}",
+            sol.gain
+        );
+    }
+
+    #[test]
+    fn helper_mdp_policy_is_statewise_optimal_assignment() {
+        // Transitions are uncontrolled, so the optimal policy must pick a
+        // welfare-maximising load vector in every state.
+        let chain = MarkovChain::sticky_birth_death(2, 0.7, 0);
+        let levels = vec![vec![400.0, 900.0]; 2];
+        let kernels = vec![chain.transition().clone(); 2];
+        let mdp = helper_selection_mdp(&levels, &kernels, 2, None).unwrap();
+        let sol = mdp.relative_value_iteration(1e-9, 200_000).unwrap();
+        for s in 0..mdp.num_states() {
+            let chosen = mdp.reward(s, sol.policy[s]);
+            let best = (0..mdp.num_actions())
+                .map(|a| mdp.reward(s, a))
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (chosen - best).abs() < 1e-9,
+                "state {s}: chose reward {chosen}, best {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn discounted_and_average_agree_for_uncontrolled_instance() {
+        // With uncontrolled transitions, (1-γ)·V_γ(s) -> gain as γ -> 1.
+        let chain = MarkovChain::sticky_birth_death(2, 0.8, 0);
+        let levels = vec![vec![700.0, 900.0]; 2];
+        let kernels = vec![chain.transition().clone(); 2];
+        let mdp = helper_selection_mdp(&levels, &kernels, 2, None).unwrap();
+        let avg = mdp.relative_value_iteration(1e-9, 200_000).unwrap();
+        let disc = mdp.value_iteration(0.999, 1e-9, 200_000).unwrap();
+        let approx_gain = (1.0 - 0.999) * disc.values[0];
+        assert!(
+            (approx_gain - avg.gain).abs() < 0.01 * avg.gain,
+            "(1-γ)V = {approx_gain} vs gain {}",
+            avg.gain
+        );
+    }
+
+    #[test]
+    fn value_iteration_iterations_reported() {
+        let sol = toy().value_iteration(0.5, 1e-8, 1000).unwrap();
+        assert!(sol.iterations > 1 && sol.iterations < 1000);
+    }
+
+    #[test]
+    fn no_convergence_is_reported() {
+        let mdp = toy();
+        assert_eq!(
+            mdp.value_iteration(0.99, 1e-12, 3).unwrap_err(),
+            MdpError::NoConvergence
+        );
+    }
+
+    #[test]
+    fn load_enumeration_counts_compositions() {
+        // C(N+H-1, H-1) compositions: N=3, H=3 -> C(5,2) = 10.
+        let chain = MarkovChain::sticky_birth_death(1, 0.5, 0);
+        let levels = vec![vec![500.0]; 3];
+        let kernels = vec![chain.transition().clone(); 3];
+        let mdp = helper_selection_mdp(&levels, &kernels, 3, None).unwrap();
+        assert_eq!(mdp.num_actions(), 10);
+    }
+}

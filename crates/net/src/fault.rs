@@ -1,0 +1,144 @@
+//! Fault injection for the decentralized runtime.
+//!
+//! Control traffic stays reliable (it rides crossbeam channels); faults
+//! target the *data plane* and *timing*:
+//!
+//! * [`FaultPlan::loss`] — per-(peer, epoch) probability that the video
+//!   payload is lost even though the connection was established: the peer
+//!   observes rate 0 for the epoch and its learner treats the helper as
+//!   useless — exactly what a throughput collapse looks like from the
+//!   edge.
+//! * [`FaultPlan::jitter_us`] — random per-message processing delay,
+//!   exercising the asynchronous interleavings of the actor mesh. Because
+//!   the epoch protocol is a barrier, jitter must not change results — a
+//!   property the integration tests assert.
+//!
+//! Decisions are pure functions of `(seed, peer, epoch)` so faulty runs
+//! are as reproducible as clean ones.
+
+use rths_stoch::rng::derive_seed;
+
+/// Deterministic fault plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Data-plane loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Maximum per-message jitter in microseconds (0 = disabled).
+    pub jitter_us: u64,
+    /// Seed for fault decisions (independent of the simulation seed).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults at all.
+    pub fn none() -> Self {
+        Self { loss: 0.0, jitter_us: 0, seed: 0 }
+    }
+
+    /// Uniform data-plane loss with probability `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is outside `[0, 1]`.
+    pub fn with_loss(loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        Self { loss, jitter_us: 0, seed }
+    }
+
+    /// Adds timing jitter up to `jitter_us` microseconds per message.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter_us: u64) -> Self {
+        self.jitter_us = jitter_us;
+        self
+    }
+
+    /// Whether the payload for `(peer, epoch)` is lost.
+    pub fn is_lost(&self, peer: u64, epoch: u64) -> bool {
+        if self.loss <= 0.0 {
+            return false;
+        }
+        if self.loss >= 1.0 {
+            return true;
+        }
+        let h = derive_seed(self.seed, derive_seed(peer, epoch));
+        (h as f64 / u64::MAX as f64) < self.loss
+    }
+
+    /// Sleeps a deterministic pseudo-random duration below `jitter_us`
+    /// (no-op when jitter is disabled).
+    pub fn apply_jitter(&self, actor: u64, epoch: u64) {
+        if self.jitter_us == 0 {
+            return;
+        }
+        let h = derive_seed(self.seed ^ 0xDEAD_BEEF, derive_seed(actor, epoch));
+        let us = h % self.jitter_us.max(1);
+        std::thread::sleep(std::time::Duration::from_micros(us));
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops() {
+        let f = FaultPlan::none();
+        for p in 0..50 {
+            for e in 0..50 {
+                assert!(!f.is_lost(p, e));
+            }
+        }
+    }
+
+    #[test]
+    fn full_loss_always_drops() {
+        let f = FaultPlan::with_loss(1.0, 7);
+        assert!(f.is_lost(3, 9));
+    }
+
+    #[test]
+    fn loss_rate_is_approximately_honoured() {
+        let f = FaultPlan::with_loss(0.3, 42);
+        let n = 100_000u64;
+        let dropped = (0..n).filter(|&i| f.is_lost(i, i / 7)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::with_loss(0.5, 1);
+        let b = FaultPlan::with_loss(0.5, 1);
+        for p in 0..100 {
+            assert_eq!(a.is_lost(p, 13), b.is_lost(p, 13));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::with_loss(0.5, 1);
+        let b = FaultPlan::with_loss(0.5, 2);
+        let n = 1000;
+        let disagreements =
+            (0..n).filter(|&p| a.is_lost(p, 0) != b.is_lost(p, 0)).count();
+        assert!(disagreements > 100, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_loss_rejected() {
+        let _ = FaultPlan::with_loss(1.5, 0);
+    }
+
+    #[test]
+    fn jitter_noop_when_disabled() {
+        // Just exercises the no-op path.
+        FaultPlan::none().apply_jitter(1, 1);
+    }
+}

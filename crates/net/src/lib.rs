@@ -1,0 +1,45 @@
+//! Decentralized message-passing runtime for RTHS.
+//!
+//! The simulator in `rths-sim` runs the whole system in one loop; this
+//! crate demonstrates the paper's *deployment claim* — "the dynamic helper
+//! selection strategies of each peer rely completely on the peer's local
+//! information, and therefore can be implemented in a fully distributed
+//! fashion" (§IV) — by running every **peer** and every **helper** as its
+//! own OS thread, communicating *only* through message channels:
+//!
+//! * peers learn which helpers exist from a [`tracker`] (the only
+//!   bootstrap service real systems have);
+//! * each epoch, a peer samples its RTHS strategy, sends a `Request` to
+//!   exactly one helper and receives back a `Rate` — its only feedback;
+//! * helpers split their (locally stepped) stochastic capacity over the
+//!   requests they happen to receive;
+//! * a coordinator drives the epoch barrier and records metrics — it
+//!   *observes* but never *instructs*: no assignment decision flows
+//!   downward.
+//!
+//! Because the epoch protocol is a barrier and every actor owns a
+//! deterministic RNG stream, a fault-free run reproduces `rths_sim::System`
+//! **bit-for-bit** (asserted by integration tests), while the [`fault`]
+//! module can additionally drop data-plane deliveries and inject thread
+//! timing jitter to exercise the asynchronous paths.
+//!
+//! # Example
+//!
+//! ```
+//! use rths_net::{NetConfig, NetRuntime};
+//! use rths_sim::Scenario;
+//!
+//! let sim = Scenario::paper_small().seed(11).build();
+//! let outcome = NetRuntime::new(NetConfig::from_sim(sim)).run(50);
+//! assert_eq!(outcome.epochs, 50);
+//! ```
+
+pub mod fault;
+pub mod message;
+pub mod runtime;
+pub mod tracker;
+
+pub use fault::FaultPlan;
+pub use message::{CoordMsg, HelperMsg, PeerMsg};
+pub use runtime::{NetConfig, NetOutcome, NetRuntime};
+pub use tracker::Tracker;

@@ -1,0 +1,79 @@
+//! The bootstrap tracker.
+//!
+//! Deployed P2P streaming systems bootstrap through a tracker: a joining
+//! peer asks it for the current helper list and then talks to helpers
+//! directly. The tracker never sees payoffs and never assigns peers — it
+//! is a *directory*, not a controller, which is what keeps the
+//! architecture decentralized. Here the "addresses" it hands out are
+//! channel senders.
+
+use crossbeam::channel::Sender;
+
+use crate::message::HelperMsg;
+
+/// Directory of live helper endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct Tracker {
+    helpers: Vec<Sender<HelperMsg>>,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a helper endpoint, returning its directory index.
+    pub fn register_helper(&mut self, endpoint: Sender<HelperMsg>) -> usize {
+        self.helpers.push(endpoint);
+        self.helpers.len() - 1
+    }
+
+    /// Number of registered helpers.
+    pub fn num_helpers(&self) -> usize {
+        self.helpers.len()
+    }
+
+    /// Bootstrap response for a joining peer: clones of every helper
+    /// endpoint. The peer's learner action `a` maps to `helpers[a]`.
+    pub fn bootstrap(&self) -> Vec<Sender<HelperMsg>> {
+        self.helpers.clone()
+    }
+
+    /// Endpoint of one helper (used by the coordinator for failure
+    /// injection messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn helper(&self, index: usize) -> &Sender<HelperMsg> {
+        &self.helpers[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn register_and_bootstrap() {
+        let mut t = Tracker::new();
+        let (tx1, _rx1) = unbounded();
+        let (tx2, _rx2) = unbounded();
+        assert_eq!(t.register_helper(tx1), 0);
+        assert_eq!(t.register_helper(tx2), 1);
+        assert_eq!(t.num_helpers(), 2);
+        assert_eq!(t.bootstrap().len(), 2);
+    }
+
+    #[test]
+    fn bootstrap_endpoints_reach_helpers() {
+        let mut t = Tracker::new();
+        let (tx, rx) = unbounded();
+        t.register_helper(tx);
+        let endpoints = t.bootstrap();
+        endpoints[0].send(HelperMsg::Shutdown).unwrap();
+        assert!(matches!(rx.recv().unwrap(), HelperMsg::Shutdown));
+    }
+}

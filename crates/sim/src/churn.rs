@@ -1,0 +1,142 @@
+//! Failure schedules and churn orchestration helpers.
+//!
+//! Peer churn itself is part of the engine ([`crate::System`] applies the
+//! configured [`ChurnProcess`](rths_stoch::process::ChurnProcess) every
+//! epoch). This module adds *planned* events for ablation experiments:
+//! helper outages/recoveries at fixed epochs, applied while a system runs.
+
+use crate::system::System;
+
+/// One planned helper availability change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FailureEvent {
+    /// Epoch at which the event fires.
+    pub epoch: u64,
+    /// Index of the helper affected.
+    pub helper: usize,
+    /// `false` = outage, `true` = recovery.
+    pub online: bool,
+}
+
+/// An ordered schedule of helper failures/recoveries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an outage at `epoch` for `helper`.
+    #[must_use]
+    pub fn fail_at(mut self, epoch: u64, helper: usize) -> Self {
+        self.events.push(FailureEvent { epoch, helper, online: false });
+        self.sort();
+        self
+    }
+
+    /// Adds a recovery at `epoch` for `helper`.
+    #[must_use]
+    pub fn recover_at(mut self, epoch: u64, helper: usize) -> Self {
+        self.events.push(FailureEvent { epoch, helper, online: true });
+        self.sort();
+        self
+    }
+
+    fn sort(&mut self) {
+        self.events.sort_by_key(|e| e.epoch);
+    }
+
+    /// The scheduled events in epoch order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Runs `system` for `epochs` epochs, firing scheduled events at their
+    /// epochs, and returns the cumulative outcome.
+    ///
+    /// Events whose epoch falls outside `[system.epoch(), system.epoch()
+    /// + epochs)` are ignored.
+    pub fn run(&self, system: &mut System, epochs: u64) -> crate::system::Outcome {
+        let end = system.epoch() + epochs;
+        let mut pending: std::collections::VecDeque<&FailureEvent> =
+            self.events.iter().filter(|e| e.epoch >= system.epoch() && e.epoch < end).collect();
+        while system.epoch() < end {
+            while let Some(&ev) = pending.front() {
+                if ev.epoch == system.epoch() {
+                    system.set_helper_online(ev.helper, ev.online);
+                    pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+            system.step_epoch();
+        }
+        system.outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BandwidthSpec, SimConfig};
+
+    fn system(seed: u64) -> System {
+        System::new(
+            SimConfig::builder(8, vec![BandwidthSpec::Constant(800.0); 2])
+                .seed(seed)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn schedule_orders_events() {
+        let s = FailureSchedule::new().fail_at(50, 1).recover_at(20, 0).fail_at(10, 0);
+        let epochs: Vec<u64> = s.events().iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![10, 20, 50]);
+    }
+
+    #[test]
+    fn outage_and_recovery_fire() {
+        let mut sys = system(1);
+        let schedule = FailureSchedule::new().fail_at(100, 0).recover_at(200, 0);
+        let out = schedule.run(&mut sys, 300);
+        assert_eq!(out.epochs, 300);
+        // During the outage, helper 0 delivered nothing: welfare dips to
+        // at most helper 1's capacity.
+        let during: Vec<f64> =
+            out.metrics.welfare.values()[120..200].to_vec();
+        for w in during {
+            assert!(w <= 800.0 + 1e-9, "welfare {w} during outage");
+        }
+        // After recovery, welfare can exceed a single helper again.
+        let after_max = out.metrics.welfare.values()[220..]
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!(after_max > 800.0, "no recovery: max welfare {after_max}");
+    }
+
+    #[test]
+    fn events_outside_window_ignored() {
+        let mut sys = system(2);
+        let schedule = FailureSchedule::new().fail_at(1000, 0);
+        let out = schedule.run(&mut sys, 100);
+        assert_eq!(out.epochs, 100);
+        // Helper never failed: every epoch delivers from both helpers
+        // whenever both are loaded.
+        assert!(sys.helpers()[0].is_online());
+    }
+
+    #[test]
+    fn empty_schedule_is_plain_run() {
+        let mut sys = system(3);
+        let out = FailureSchedule::new().run(&mut sys, 50);
+        assert_eq!(out.epochs, 50);
+    }
+}

@@ -1,0 +1,542 @@
+//! Simulation configuration.
+
+use rths_core::{
+    ConfigError, Exp3Config, Exp3Learner, HistoryRths, Learner, RecencyMode,
+    RegretMatchingLearner, RthsConfig, RthsLearner,
+};
+use rths_stoch::bandwidth::{
+    BandwidthProcess, ConstantBandwidth, GilbertElliott, MarkovBandwidth, RandomWalkBandwidth,
+    RegimeShiftBandwidth, TraceBandwidth,
+};
+use rths_stoch::markov::MarkovChain;
+use rths_stoch::process::ChurnProcess;
+
+/// Declarative description of one helper's bandwidth process, turned into
+/// a live process per helper at system construction.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BandwidthSpec {
+    /// The paper's `[700, 800, 900]` sticky Markov chain with the given
+    /// stay probability (0.98 reproduces "slowly changing").
+    Paper {
+        /// Probability of remaining at the current level each epoch.
+        stay: f64,
+    },
+    /// A custom level ladder with a sticky birth–death chain.
+    Ladder {
+        /// Capacity levels (kbps), ordered low→high.
+        levels: Vec<f64>,
+        /// Stay probability per epoch.
+        stay: f64,
+    },
+    /// Constant capacity (kbps).
+    Constant(f64),
+    /// Bounded lazy random walk.
+    RandomWalk {
+        /// Initial level (kbps).
+        initial: f64,
+        /// Lower reflecting bound.
+        min: f64,
+        /// Upper reflecting bound.
+        max: f64,
+        /// Step magnitude per move.
+        step: f64,
+        /// Probability of moving each epoch.
+        move_prob: f64,
+    },
+    /// Two-state Gilbert–Elliott burst model.
+    GilbertElliott {
+        /// Capacity in the good state.
+        good: f64,
+        /// Capacity in the bad state.
+        bad: f64,
+        /// P(good → bad) per epoch.
+        p_gb: f64,
+        /// P(bad → good) per epoch.
+        p_bg: f64,
+    },
+    /// Deterministic regime shift at a fixed epoch (ablation workload).
+    RegimeShift {
+        /// Capacity before the shift.
+        before: f64,
+        /// Capacity after the shift.
+        after: f64,
+        /// Epoch of the shift.
+        at: u64,
+    },
+    /// Replay of a recorded per-epoch capacity trace (loops at the end) —
+    /// for driving helpers with measured data.
+    Trace(Vec<f64>),
+}
+
+impl BandwidthSpec {
+    /// Instantiates the live process (using `rng` for any random initial
+    /// state).
+    pub fn instantiate<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Box<dyn BandwidthProcess> {
+        match self {
+            BandwidthSpec::Paper { stay } => {
+                Box::new(MarkovBandwidth::paper_with_stay(rng, *stay))
+            }
+            BandwidthSpec::Ladder { levels, stay } => {
+                let initial = rng.gen_range(0..levels.len());
+                let chain = MarkovChain::sticky_birth_death(levels.len(), *stay, initial);
+                Box::new(MarkovBandwidth::new(chain, levels.clone()))
+            }
+            BandwidthSpec::Constant(level) => Box::new(ConstantBandwidth::new(*level)),
+            BandwidthSpec::RandomWalk { initial, min, max, step, move_prob } => {
+                Box::new(RandomWalkBandwidth::new(*initial, *min, *max, *step, *move_prob))
+            }
+            BandwidthSpec::GilbertElliott { good, bad, p_gb, p_bg } => {
+                Box::new(GilbertElliott::new(*good, *bad, *p_gb, *p_bg))
+            }
+            BandwidthSpec::RegimeShift { before, after, at } => {
+                Box::new(RegimeShiftBandwidth::new(*before, *after, *at))
+            }
+            BandwidthSpec::Trace(samples) => Box::new(TraceBandwidth::new(samples.clone())),
+        }
+    }
+
+    /// Long-run mean capacity if analytically known (calibrates `μ`).
+    pub fn mean_level(&self) -> Option<f64> {
+        match self {
+            BandwidthSpec::Paper { .. } => Some(800.0),
+            BandwidthSpec::Ladder { levels, .. } => {
+                // Sticky symmetric birth–death: stationary is proportional
+                // to [1, 2, 2, …, 2, 1] over interior/boundary states.
+                if levels.is_empty() {
+                    return None;
+                }
+                if levels.len() == 1 {
+                    return Some(levels[0]);
+                }
+                let mut weights = vec![2.0; levels.len()];
+                weights[0] = 1.0;
+                *weights.last_mut().expect("non-empty") = 1.0;
+                let total: f64 = weights.iter().sum();
+                Some(
+                    levels
+                        .iter()
+                        .zip(&weights)
+                        .map(|(l, w)| l * w / total)
+                        .sum(),
+                )
+            }
+            BandwidthSpec::Constant(level) => Some(*level),
+            BandwidthSpec::RandomWalk { min, max, .. } => Some(0.5 * (min + max)),
+            BandwidthSpec::GilbertElliott { good, bad, p_gb, p_bg } => {
+                let denom = p_gb + p_bg;
+                if denom == 0.0 {
+                    Some(*good)
+                } else {
+                    Some(good * p_bg / denom + bad * p_gb / denom)
+                }
+            }
+            BandwidthSpec::RegimeShift { before, after, .. } => Some(0.5 * (before + after)),
+            BandwidthSpec::Trace(samples) => {
+                if samples.is_empty() {
+                    None
+                } else {
+                    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Which learning algorithm peers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Algorithm {
+    /// Recursive regret tracking (paper Algorithm 2). **Default.**
+    #[default]
+    Rths,
+    /// Uniform-averaging regret matching (ablation baseline).
+    RegretMatching,
+    /// History-based Algorithm 1 (slow; for validation runs).
+    HistoryRths,
+    /// EXP3 exponential-weights bandit (external-regret baseline), with
+    /// a forgetting factor matched to the RTHS step size.
+    Exp3,
+}
+
+/// Learner parameters for the peer population.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LearnerSpec {
+    /// Algorithm choice.
+    pub algorithm: Algorithm,
+    /// Step size `ε`.
+    pub epsilon: f64,
+    /// Exploration `δ`.
+    pub delta: f64,
+    /// Normalisation `μ`; `None` derives `4 × the per-peer fair-share
+    /// rate` (see [`RthsConfig::for_rate_scale`]).
+    pub mu: Option<f64>,
+    /// Enables conditional-regret normalisation (helper-failure
+    /// recovery extension; see `rths_core::RthsConfig::conditional`).
+    pub conditional: bool,
+}
+
+impl Default for LearnerSpec {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::Rths,
+            epsilon: 0.01,
+            delta: 0.1,
+            mu: None,
+            conditional: false,
+        }
+    }
+}
+
+/// A peer-side learner of any supported algorithm.
+#[derive(Debug, Clone)]
+pub enum AnyLearner {
+    /// Recursive RTHS (Algorithm 2).
+    Rths(RthsLearner),
+    /// Regret-matching baseline.
+    Matching(RegretMatchingLearner),
+    /// History-based RTHS (Algorithm 1).
+    History(HistoryRths),
+    /// EXP3 baseline.
+    Exp3(Exp3Learner),
+}
+
+impl Learner for AnyLearner {
+    fn num_actions(&self) -> usize {
+        match self {
+            AnyLearner::Rths(l) => l.num_actions(),
+            AnyLearner::Matching(l) => l.num_actions(),
+            AnyLearner::History(l) => l.num_actions(),
+            AnyLearner::Exp3(l) => l.num_actions(),
+        }
+    }
+
+    fn probabilities(&self) -> &[f64] {
+        match self {
+            AnyLearner::Rths(l) => l.probabilities(),
+            AnyLearner::Matching(l) => l.probabilities(),
+            AnyLearner::History(l) => l.probabilities(),
+            AnyLearner::Exp3(l) => l.probabilities(),
+        }
+    }
+
+    fn select_action(&mut self, rng: &mut dyn rand::RngCore) -> usize {
+        match self {
+            AnyLearner::Rths(l) => l.select_action(rng),
+            AnyLearner::Matching(l) => l.select_action(rng),
+            AnyLearner::History(l) => l.select_action(rng),
+            AnyLearner::Exp3(l) => l.select_action(rng),
+        }
+    }
+
+    fn observe(&mut self, utility: f64) {
+        match self {
+            AnyLearner::Rths(l) => l.observe(utility),
+            AnyLearner::Matching(l) => l.observe(utility),
+            AnyLearner::History(l) => l.observe(utility),
+            AnyLearner::Exp3(l) => l.observe(utility),
+        }
+    }
+
+    fn max_regret(&self) -> f64 {
+        match self {
+            AnyLearner::Rths(l) => l.max_regret(),
+            AnyLearner::Matching(l) => l.max_regret(),
+            AnyLearner::History(l) => l.max_regret(),
+            AnyLearner::Exp3(l) => l.max_regret(),
+        }
+    }
+
+    fn stage(&self) -> u64 {
+        match self {
+            AnyLearner::Rths(l) => l.stage(),
+            AnyLearner::Matching(l) => l.stage(),
+            AnyLearner::History(l) => l.stage(),
+            AnyLearner::Exp3(l) => l.stage(),
+        }
+    }
+
+    fn pending_action(&self) -> Option<usize> {
+        match self {
+            AnyLearner::Rths(l) => l.pending_action(),
+            AnyLearner::Matching(l) => l.pending_action(),
+            AnyLearner::History(l) => l.pending_action(),
+            AnyLearner::Exp3(l) => l.pending_action(),
+        }
+    }
+
+    fn reset_actions(&mut self, num_actions: usize) {
+        match self {
+            AnyLearner::Rths(l) => l.reset_actions(num_actions),
+            AnyLearner::Matching(l) => l.reset_actions(num_actions),
+            AnyLearner::History(l) => l.reset_actions(num_actions),
+            AnyLearner::Exp3(l) => l.reset_actions(num_actions),
+        }
+    }
+}
+
+impl LearnerSpec {
+    /// Builds a live learner over `num_actions` actions, deriving `μ`
+    /// from `rate_scale` — the typical per-peer received rate (fair
+    /// share, possibly demand-capped) — when `mu` is unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if parameters are invalid.
+    pub fn instantiate(
+        &self,
+        num_actions: usize,
+        rate_scale: f64,
+    ) -> Result<AnyLearner, ConfigError> {
+        let mu = self.mu.unwrap_or(4.0 * rate_scale);
+        let recency = match self.algorithm {
+            Algorithm::RegretMatching => RecencyMode::Uniform,
+            _ => RecencyMode::Exponential,
+        };
+        let config = RthsConfig::builder(num_actions)
+            .epsilon(self.epsilon)
+            .delta(self.delta)
+            .mu(mu)
+            .recency(recency)
+            .conditional(self.conditional)
+            .build()?;
+        Ok(match self.algorithm {
+            Algorithm::Rths => AnyLearner::Rths(RthsLearner::new(config)),
+            Algorithm::RegretMatching => {
+                AnyLearner::Matching(RegretMatchingLearner::new(config)?)
+            }
+            Algorithm::HistoryRths => AnyLearner::History(HistoryRths::new(config)),
+            Algorithm::Exp3 => AnyLearner::Exp3(Exp3Learner::new(Exp3Config {
+                num_actions,
+                gamma: self.delta.max(0.01),
+                // Rewards are rates; scale by a few fair shares.
+                reward_scale: 4.0 * rate_scale,
+                forgetting: self.epsilon,
+            })),
+        })
+    }
+}
+
+/// Full simulation configuration. Build with [`SimConfig::builder`] or the
+/// canned [`Scenario`](crate::Scenario)s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Initial number of peers.
+    pub num_peers: usize,
+    /// One bandwidth spec per helper.
+    pub helpers: Vec<BandwidthSpec>,
+    /// Per-peer streaming demand (kbps); `None` = uncapped utilities
+    /// (the paper's default game).
+    pub demand: Option<f64>,
+    /// Peer churn process.
+    pub churn: ChurnProcess,
+    /// Learner parameters.
+    pub learner: LearnerSpec,
+    /// RNG seed; every run with the same config is bit-identical.
+    pub seed: u64,
+    /// Record the joint action distribution from this epoch onward
+    /// (0 = from the start).
+    pub record_joint_from: u64,
+    /// Record every peer's per-epoch delivered rate (memory: N×epochs
+    /// f64s; churn-free runs only). Feeds the playback-buffer QoE
+    /// analysis ([`crate::playback`]).
+    pub record_peer_rates: bool,
+}
+
+impl SimConfig {
+    /// Starts a builder for `num_peers` peers over `helpers`.
+    pub fn builder(num_peers: usize, helpers: Vec<BandwidthSpec>) -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig {
+                num_peers,
+                helpers,
+                demand: None,
+                churn: ChurnProcess::none(),
+                learner: LearnerSpec::default(),
+                seed: 0,
+                record_joint_from: 0,
+                record_peer_rates: false,
+            },
+        }
+    }
+
+    /// Mean helper capacity across the configured specs (defaults any
+    /// unknown mean to 800 kbps, the paper's centre level).
+    pub fn mean_capacity(&self) -> f64 {
+        if self.helpers.is_empty() {
+            return 0.0;
+        }
+        let total: f64 =
+            self.helpers.iter().map(|h| h.mean_level().unwrap_or(800.0)).sum();
+        total / self.helpers.len() as f64
+    }
+
+    /// Typical per-peer received rate: the fair share of total mean
+    /// helper capacity over the initial population, capped by the demand
+    /// if one is set. Used to derive `μ` (see
+    /// [`LearnerSpec::instantiate`]).
+    pub fn rate_scale(&self) -> f64 {
+        let total_cap = self.mean_capacity() * self.helpers.len() as f64;
+        let fair = total_cap / self.num_peers.max(1) as f64;
+        match self.demand {
+            Some(d) => fair.min(d),
+            None => fair,
+        }
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets per-peer streaming demand (kbps).
+    pub fn demand(mut self, demand: f64) -> Self {
+        self.config.demand = Some(demand);
+        self
+    }
+
+    /// Sets the churn process.
+    pub fn churn(mut self, churn: ChurnProcess) -> Self {
+        self.config.churn = churn;
+        self
+    }
+
+    /// Sets learner parameters.
+    pub fn learner(mut self, learner: LearnerSpec) -> Self {
+        self.config.learner = learner;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Discards the first `epoch` epochs from the joint distribution.
+    pub fn record_joint_from(mut self, epoch: u64) -> Self {
+        self.config.record_joint_from = epoch;
+        self
+    }
+
+    /// Enables per-peer rate-series recording (churn-free runs only).
+    pub fn record_peer_rates(mut self, record: bool) -> Self {
+        self.config.record_peer_rates = record;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no helpers.
+    pub fn build(self) -> SimConfig {
+        assert!(!self.config.helpers.is_empty(), "need at least one helper");
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rths_stoch::rng::seeded_rng;
+
+    #[test]
+    fn paper_spec_mean_is_800() {
+        assert_eq!(BandwidthSpec::Paper { stay: 0.98 }.mean_level(), Some(800.0));
+    }
+
+    #[test]
+    fn ladder_mean_weights_boundaries_half() {
+        // Levels [0, 600]: stationary [1/2, 1/2] for 2 states -> 300.
+        let spec = BandwidthSpec::Ladder { levels: vec![0.0, 600.0], stay: 0.9 };
+        assert_eq!(spec.mean_level(), Some(300.0));
+        // 3 levels [0, 300, 600]: weights [1,2,1]/4 -> 300.
+        let spec3 = BandwidthSpec::Ladder { levels: vec![0.0, 300.0, 600.0], stay: 0.9 };
+        assert_eq!(spec3.mean_level(), Some(300.0));
+    }
+
+    #[test]
+    fn ladder_mean_matches_exact_stationary() {
+        // Cross-check the [1,2,…,2,1] weight claim against the chain's
+        // computed stationary distribution.
+        let levels = vec![100.0, 200.0, 300.0, 400.0];
+        let chain = MarkovChain::sticky_birth_death(4, 0.9, 0);
+        let pi = chain.stationary_distribution().unwrap();
+        let exact: f64 = levels.iter().zip(&pi).map(|(l, p)| l * p).sum();
+        let spec = BandwidthSpec::Ladder { levels, stay: 0.9 };
+        assert!((spec.mean_level().unwrap() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instantiate_produces_live_processes() {
+        let mut rng = seeded_rng(1);
+        let specs = [
+            BandwidthSpec::Paper { stay: 0.98 },
+            BandwidthSpec::Constant(500.0),
+            BandwidthSpec::RandomWalk {
+                initial: 400.0,
+                min: 100.0,
+                max: 900.0,
+                step: 50.0,
+                move_prob: 0.5,
+            },
+            BandwidthSpec::GilbertElliott { good: 900.0, bad: 200.0, p_gb: 0.05, p_bg: 0.2 },
+            BandwidthSpec::RegimeShift { before: 800.0, after: 400.0, at: 10 },
+            BandwidthSpec::Trace(vec![500.0, 700.0, 600.0]),
+        ];
+        for spec in &specs {
+            let mut p = spec.instantiate(&mut rng);
+            let before = p.level();
+            p.step(&mut rng);
+            assert!(p.level().is_finite());
+            assert!(before >= p.min_level() && before <= p.max_level());
+        }
+    }
+
+    #[test]
+    fn learner_spec_builds_each_algorithm() {
+        for alg in [
+            Algorithm::Rths,
+            Algorithm::RegretMatching,
+            Algorithm::HistoryRths,
+            Algorithm::Exp3,
+        ] {
+            let spec = LearnerSpec { algorithm: alg, ..LearnerSpec::default() };
+            let l = spec.instantiate(4, 800.0).unwrap();
+            assert_eq!(rths_core::Learner::num_actions(&l), 4);
+        }
+    }
+
+    #[test]
+    fn learner_spec_derives_mu() {
+        let spec = LearnerSpec::default();
+        let l = spec.instantiate(2, 800.0).unwrap();
+        if let AnyLearner::Rths(inner) = &l {
+            assert_eq!(inner.config().mu(), 3200.0);
+        } else {
+            panic!("expected RTHS learner");
+        }
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let c =
+            SimConfig::builder(10, vec![BandwidthSpec::Paper { stay: 0.98 }; 4]).build();
+        assert_eq!(c.num_peers, 10);
+        assert_eq!(c.helpers.len(), 4);
+        assert_eq!(c.demand, None);
+        assert_eq!(c.seed, 0);
+        assert_eq!(c.mean_capacity(), 800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one helper")]
+    fn empty_helpers_rejected() {
+        let _ = SimConfig::builder(10, vec![]).build();
+    }
+}

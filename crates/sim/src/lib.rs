@@ -1,0 +1,57 @@
+//! Discrete-time simulator of a helper-assisted P2P live-streaming system.
+//!
+//! This crate is the evaluation substrate for the RTHS reproduction: it
+//! models the full system of paper §IV — streaming **server**, **helpers**
+//! with Markov-modulated upload bandwidth, **peers** running decentralized
+//! learners with only local information, per-peer streaming **demand**,
+//! peer **churn**, and (as the paper's future-work extension) multiple
+//! **channels** with per-helper bandwidth allocation.
+//!
+//! Per epoch the engine:
+//!
+//! 1. advances every helper's bandwidth process (the paper's slowly
+//!    changing `[700, 800, 900]` chain by default);
+//! 2. applies churn (Poisson joins, geometric departures);
+//! 3. lets every peer select a helper by sampling its learner's mixed
+//!    strategy — peers never see other peers' actions or payoffs;
+//! 4. splits each helper's capacity evenly over its connected peers and
+//!    delivers `min(demand, share)` to each;
+//! 5. feeds realized rates back to the learners (bandit feedback);
+//! 6. routes every peer's residual demand to the streaming server
+//!    (`server load = Σ_i max(0, d_i − r_i)`, Fig. 5);
+//! 7. records metrics (regret, welfare, loads, fairness, server load,
+//!    helper-switch counts).
+//!
+//! # Example
+//!
+//! ```
+//! use rths_sim::{Scenario, System};
+//!
+//! // The paper's small-scale configuration: 10 peers, 4 helpers.
+//! let config = Scenario::paper_small().seed(42).build();
+//! let mut system = System::new(config);
+//! let outcome = system.run(500);
+//! assert_eq!(outcome.epochs, 500);
+//! // All 10 peers were served every epoch.
+//! assert_eq!(outcome.metrics.mean_peer_rates.len(), 10);
+//! ```
+
+pub mod channel;
+pub mod churn;
+pub mod config;
+pub mod helper;
+pub mod metrics;
+pub mod multichannel;
+pub mod peer;
+pub mod playback;
+pub mod scenario;
+pub mod server;
+pub mod system;
+pub mod workload;
+
+pub use config::{Algorithm, BandwidthSpec, LearnerSpec, SimConfig, SimConfigBuilder};
+pub use metrics::SimMetrics;
+pub use multichannel::{AllocationPolicy, MultiChannelConfig, MultiChannelSystem};
+pub use playback::{PlaybackBuffer, PlaybackStats};
+pub use scenario::Scenario;
+pub use system::{Outcome, System};

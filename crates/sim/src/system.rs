@@ -1,0 +1,460 @@
+//! The single-channel simulation engine.
+
+use rand::rngs::StdRng;
+use rths_game::JointDistribution;
+use rths_stoch::rng::{entity_rng, seeded_rng};
+
+use crate::config::SimConfig;
+use crate::helper::{Helper, HelperId};
+use crate::metrics::SimMetrics;
+use crate::peer::{Peer, PeerId};
+use crate::server::StreamingServer;
+
+/// Result of (so far) running a [`System`].
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Total epochs executed.
+    pub epochs: u64,
+    /// All recorded metrics.
+    pub metrics: SimMetrics,
+    /// Peers online at the end.
+    pub final_population: usize,
+    /// Joint action distribution (recorded only for churn-free runs,
+    /// where profiles have a fixed player set).
+    pub joint: Option<JointDistribution>,
+    /// Per-peer delivered-rate series (only when
+    /// `record_peer_rates` was set on a churn-free run); outer index =
+    /// peer, inner = epoch. Feed to [`crate::playback::PlaybackBuffer`]
+    /// for QoE analysis.
+    pub peer_rate_series: Option<Vec<Vec<f64>>>,
+    /// Helper capacities at the final epoch.
+    pub final_capacities: Vec<f64>,
+}
+
+/// The single-channel helper-assisted streaming system.
+pub struct System {
+    config: SimConfig,
+    helpers: Vec<Helper>,
+    peers: Vec<Peer>,
+    server: StreamingServer,
+    metrics: SimMetrics,
+    joint: Option<JointDistribution>,
+    peer_rate_series: Option<Vec<Vec<f64>>>,
+    epoch: u64,
+    next_peer_id: u64,
+    master_rng: StdRng,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("epoch", &self.epoch)
+            .field("peers", &self.peers.len())
+            .field("helpers", &self.helpers.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds the system from a configuration: instantiates helper
+    /// bandwidth processes and the initial peer population, all seeded
+    /// deterministically from `config.seed`.
+    pub fn new(config: SimConfig) -> Self {
+        let mut master_rng = seeded_rng(config.seed);
+        let helpers: Vec<Helper> = config
+            .helpers
+            .iter()
+            .enumerate()
+            .map(|(j, spec)| {
+                Helper::with_seed(
+                    HelperId(j as u32),
+                    spec.instantiate(&mut master_rng),
+                    config.seed,
+                )
+            })
+            .collect();
+        let rate_scale = config.rate_scale();
+        let mut peers = Vec::with_capacity(config.num_peers);
+        let mut next_peer_id = 0u64;
+        for _ in 0..config.num_peers {
+            let learner = config
+                .learner
+                .instantiate(helpers.len(), rate_scale)
+                .expect("learner spec validated by construction");
+            let rng = entity_rng(config.seed, next_peer_id);
+            peers.push(Peer::new(PeerId(next_peer_id), learner, rng, 0, 0));
+            next_peer_id += 1;
+        }
+        let metrics = SimMetrics::new(helpers.len());
+        let track_joint = config.churn.arrival_rate() == 0.0 && config.churn.departure_prob() == 0.0;
+        let track_rates = track_joint && config.record_peer_rates;
+        Self {
+            joint: track_joint.then(JointDistribution::new),
+            peer_rate_series: track_rates.then(|| vec![Vec::new(); config.num_peers]),
+            config,
+            helpers,
+            peers,
+            server: StreamingServer::new(),
+            metrics,
+            epoch: 0,
+            next_peer_id,
+            master_rng,
+        }
+    }
+
+    /// Current epoch count.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Online peers.
+    pub fn num_peers(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The helpers (e.g. for failure injection via
+    /// [`set_helper_online`](Self::set_helper_online)).
+    pub fn helpers(&self) -> &[Helper] {
+        &self.helpers
+    }
+
+    /// The peers.
+    pub fn peers(&self) -> &[Peer] {
+        &self.peers
+    }
+
+    /// Current helper capacities.
+    pub fn capacities(&self) -> Vec<f64> {
+        self.helpers.iter().map(Helper::capacity).collect()
+    }
+
+    /// Injects a helper failure (or recovery). Peers are not notified —
+    /// they must *learn* the change, which is the point of the churn
+    /// ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_helper_online(&mut self, index: usize, online: bool) {
+        self.helpers[index].set_online(online);
+    }
+
+    /// The configured baseline churn arrival rate (used by workload
+    /// generators to scale surges).
+    pub fn config_arrival_rate(&self) -> f64 {
+        self.config.churn.arrival_rate()
+    }
+
+    /// Adds `Poisson(lambda)` extra peers immediately (flash-crowd /
+    /// diurnal workload injection, on top of the configured churn).
+    pub fn inject_arrivals(&mut self, lambda: f64) {
+        let extra =
+            rths_stoch::process::sample_poisson(&mut self.master_rng, lambda);
+        for _ in 0..extra {
+            self.spawn_peer();
+        }
+    }
+
+    fn spawn_peer(&mut self) {
+        let learner = self
+            .config
+            .learner
+            .instantiate(self.helpers.len(), self.config.rate_scale())
+            .expect("learner spec validated by construction");
+        let rng = entity_rng(self.config.seed, self.next_peer_id);
+        self.peers.push(Peer::new(PeerId(self.next_peer_id), learner, rng, 0, self.epoch));
+        self.next_peer_id += 1;
+    }
+
+    /// Runs `epochs` additional epochs and returns the cumulative outcome.
+    pub fn run(&mut self, epochs: u64) -> Outcome {
+        for _ in 0..epochs {
+            self.step_epoch();
+        }
+        self.outcome()
+    }
+
+    /// Executes exactly one epoch.
+    pub fn step_epoch(&mut self) {
+        let h = self.helpers.len();
+
+        // 1. Helper bandwidth dynamics (each on its own RNG stream).
+        for helper in &mut self.helpers {
+            helper.step();
+        }
+
+        // 2. Churn.
+        let events = self.config.churn.sample_epoch(&mut self.master_rng, self.peers.len());
+        if events.departures > 0 {
+            for _ in 0..events.departures.min(self.peers.len() as u64) {
+                let idx =
+                    rand::Rng::gen_range(&mut self.master_rng, 0..self.peers.len());
+                self.peers.swap_remove(idx);
+            }
+        }
+        for _ in 0..events.arrivals {
+            self.spawn_peer();
+        }
+
+        // 3. Decentralized helper selection.
+        let profile: Vec<usize> = self.peers.iter_mut().map(Peer::choose_helper).collect();
+        let mut loads = vec![0usize; h];
+        for &a in &profile {
+            loads[a] += 1;
+        }
+
+        // 4-5. Rate allocation and bandit feedback.
+        let shares: Vec<f64> =
+            self.helpers.iter().zip(&loads).map(|(hp, &l)| hp.share(l)).collect();
+        let join_rates: Vec<f64> = self
+            .helpers
+            .iter()
+            .zip(&loads)
+            .map(|(hp, &l)| {
+                let raw = hp.share(l + 1);
+                match self.config.demand {
+                    Some(d) => raw.min(d),
+                    None => raw,
+                }
+            })
+            .collect();
+        let mut residuals = Vec::with_capacity(self.peers.len());
+        let mut delivered = Vec::with_capacity(self.peers.len());
+        let mut welfare = 0.0;
+        for (peer, &a) in self.peers.iter_mut().zip(&profile) {
+            let share = shares[a];
+            let (rate, satisfied, residual) = match self.config.demand {
+                Some(d) => {
+                    let r = share.min(d);
+                    (r, r >= d - 1e-9, (d - r).max(0.0))
+                }
+                None => (share, true, 0.0),
+            };
+            peer.deliver(rate, satisfied);
+            peer.record_true_regret(a, rate, &join_rates);
+            welfare += rate;
+            residuals.push(residual);
+            delivered.push(rate);
+        }
+        if let Some(series) = &mut self.peer_rate_series {
+            for (s, &r) in series.iter_mut().zip(&delivered) {
+                s.push(r);
+            }
+        }
+
+        // 6. Server settles residual demand.
+        let total_demand =
+            self.config.demand.unwrap_or(0.0) * self.peers.len() as f64;
+        let helper_min: f64 = self.helpers.iter().map(Helper::min_capacity).sum();
+        let helper_now: f64 = self.helpers.iter().map(Helper::capacity).sum();
+        let server_epoch =
+            self.server.settle_epoch(&residuals, total_demand, helper_min, helper_now);
+
+        // 7. Metrics.
+        self.metrics.welfare.push(welfare);
+        self.metrics.server_load.push(server_epoch.load);
+        self.metrics.min_deficit.push(server_epoch.min_deficit);
+        self.metrics.current_deficit.push(server_epoch.current_deficit);
+        self.metrics.population.push(self.peers.len() as f64);
+        self.metrics.jain.push(rths_math::stats::jain_index(&delivered));
+        let worst_est =
+            self.peers.iter().map(Peer::max_regret).fold(0.0f64, f64::max);
+        self.metrics.worst_regret_estimate.push(worst_est);
+        let worst_emp =
+            self.peers.iter().map(Peer::empirical_regret).fold(0.0f64, f64::max);
+        self.metrics.worst_empirical_regret.push(worst_emp);
+        let total_switches: u64 = self.peers.iter().map(Peer::switches).sum();
+        // Per-epoch switches = difference of cumulative counts.
+        let prev_total = self.metrics.switches.values().iter().sum::<f64>();
+        self.metrics.switches.push((total_switches as f64 - prev_total).max(0.0));
+        for (series, &l) in self.metrics.helper_loads.iter_mut().zip(&loads) {
+            series.push(l as f64);
+        }
+
+        if let Some(joint) = &mut self.joint {
+            if self.epoch >= self.config.record_joint_from {
+                joint.record(&profile);
+            }
+        }
+        self.epoch += 1;
+    }
+
+    /// Snapshot of cumulative results.
+    pub fn outcome(&self) -> Outcome {
+        let mut metrics = self.metrics.clone();
+        let denom = self.epoch.max(1) as f64;
+        metrics.mean_helper_loads = metrics
+            .helper_loads
+            .iter()
+            .map(|s| s.values().iter().sum::<f64>() / denom)
+            .collect();
+        metrics.mean_peer_rates = self.peers.iter().map(Peer::mean_rate).collect();
+        metrics.peer_continuity = self.peers.iter().map(Peer::continuity).collect();
+        Outcome {
+            epochs: self.epoch,
+            metrics,
+            final_population: self.peers.len(),
+            joint: self.joint.clone(),
+            peer_rate_series: self.peer_rate_series.clone(),
+            final_capacities: self.capacities(),
+        }
+    }
+
+    /// Mean server load so far (convenience for Fig. 5 summaries).
+    pub fn mean_server_load(&self) -> f64 {
+        self.server.mean_load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BandwidthSpec, SimConfig};
+    use rths_stoch::process::ChurnProcess;
+
+    fn small_config(seed: u64) -> SimConfig {
+        SimConfig::builder(10, vec![BandwidthSpec::Paper { stay: 0.98 }; 4])
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn run_advances_epochs_and_metrics() {
+        let mut sys = System::new(small_config(1));
+        let out = sys.run(100);
+        assert_eq!(out.epochs, 100);
+        assert_eq!(out.metrics.epochs(), 100);
+        assert_eq!(out.final_population, 10);
+        assert_eq!(out.metrics.mean_peer_rates.len(), 10);
+        assert_eq!(out.metrics.mean_helper_loads.len(), 4);
+        assert!(out.joint.is_some());
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let run = |seed| {
+            let mut sys = System::new(small_config(seed));
+            let out = sys.run(200);
+            (
+                out.metrics.welfare.values().to_vec(),
+                out.metrics.mean_helper_loads.clone(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn welfare_conservation_uncapped() {
+        // Delivered welfare equals the busy-capacity sum every epoch; in
+        // particular it never exceeds total capacity (900·H bound).
+        let mut sys = System::new(small_config(2));
+        let out = sys.run(300);
+        for &w in out.metrics.welfare.values() {
+            assert!(w <= 4.0 * 900.0 + 1e-9, "welfare {w} above max capacity");
+            assert!(w >= 0.0);
+        }
+    }
+
+    #[test]
+    fn loads_sum_to_population_every_epoch() {
+        let mut sys = System::new(small_config(3));
+        let out = sys.run(50);
+        for e in 0..50 {
+            let total: f64 = out
+                .metrics
+                .helper_loads
+                .iter()
+                .map(|s| s.values()[e])
+                .sum();
+            assert_eq!(total, out.metrics.population.values()[e]);
+        }
+    }
+
+    #[test]
+    fn demand_capped_run_has_server_load_and_satisfies_bound() {
+        // Demand 400 × 10 peers = 4000 > helper capacity (≤3600), so the
+        // server must carry load ≥ the current deficit bound.
+        let config = SimConfig::builder(10, vec![BandwidthSpec::Paper { stay: 0.98 }; 4])
+            .demand(400.0)
+            .seed(4)
+            .build();
+        let mut sys = System::new(config);
+        let out = sys.run(200);
+        for e in 0..200 {
+            let load = out.metrics.server_load.values()[e];
+            let bound = out.metrics.current_deficit.values()[e];
+            assert!(load >= bound - 1e-6, "epoch {e}: load {load} below deficit bound {bound}");
+        }
+        assert!(sys.mean_server_load() > 0.0);
+    }
+
+    #[test]
+    fn churn_changes_population() {
+        let config = SimConfig::builder(20, vec![BandwidthSpec::Paper { stay: 0.98 }; 3])
+            .churn(ChurnProcess::new(1.0, 0.05))
+            .seed(5)
+            .build();
+        let mut sys = System::new(config);
+        let out = sys.run(300);
+        let pops = out.metrics.population.values();
+        let min = pops.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = pops.iter().copied().fold(0.0f64, f64::max);
+        assert!(max > min, "population never changed under churn");
+        // Joint distribution is disabled under churn.
+        assert!(out.joint.is_none());
+    }
+
+    #[test]
+    fn helper_failure_redirects_peers() {
+        // Uses the conditional-regret extension: the paper's literal
+        // update leaves rarely-played rows with near-zero proxy regret,
+        // which makes evacuation from a dead helper slow (see
+        // RthsConfig::conditional docs). Both variants are compared in
+        // the `ablation_churn` bench.
+        let config = SimConfig::builder(12, vec![BandwidthSpec::Constant(800.0); 3])
+            .learner(crate::config::LearnerSpec {
+                conditional: true,
+                ..crate::config::LearnerSpec::default()
+            })
+            .seed(6)
+            .build();
+        let mut sys = System::new(config);
+        let _ = sys.run(1500);
+        sys.set_helper_online(0, false);
+        let out = sys.run(1500);
+        // In the last epochs, the dead helper should carry little load
+        // beyond the exploration floor (12 peers × δ/m ≈ 0.4).
+        let last: Vec<f64> = out.metrics.helper_loads[0]
+            .values()
+            .iter()
+            .rev()
+            .take(200)
+            .copied()
+            .collect();
+        let mean_load_dead = rths_math::stats::mean(&last);
+        assert!(
+            mean_load_dead < 2.0,
+            "peers kept using the dead helper: mean load {mean_load_dead}"
+        );
+    }
+
+    #[test]
+    fn empirical_regret_decays() {
+        let mut sys = System::new(small_config(8));
+        let out = sys.run(3000);
+        let series = out.metrics.worst_empirical_regret;
+        let early = rths_math::stats::mean(&series.values()[20..120]);
+        let late = series.tail_mean(300);
+        assert!(late < early * 0.6, "no decay: early {early}, late {late}");
+    }
+
+    #[test]
+    fn outcome_is_cumulative_across_run_calls() {
+        let mut sys = System::new(small_config(9));
+        let _ = sys.run(50);
+        let out = sys.run(50);
+        assert_eq!(out.epochs, 100);
+        assert_eq!(out.metrics.epochs(), 100);
+    }
+}

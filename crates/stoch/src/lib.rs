@@ -1,0 +1,41 @@
+//! Stochastic-process substrate for the RTHS reproduction.
+//!
+//! The paper's environment is driven by random processes:
+//!
+//! * helper upload bandwidth follows a **slowly changing finite Markov
+//!   chain** over the levels `[700, 800, 900]` kbps (§IV) — [`markov`] and
+//!   [`bandwidth`];
+//! * the centralized MDP benchmark needs **stationary distributions** of
+//!   those chains (§IV.A) — [`MarkovChain::stationary_distribution`];
+//! * peers join and leave (churn) — [`process`];
+//! * multi-channel systems have **Zipf-distributed channel popularity** —
+//!   [`zipf`].
+//!
+//! Everything is seeded explicitly ([`rng`]) so that simulations, tests and
+//! figures are bit-for-bit reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use rths_stoch::bandwidth::{BandwidthProcess, MarkovBandwidth};
+//! use rths_stoch::rng::seeded_rng;
+//!
+//! let mut rng = seeded_rng(42);
+//! // The paper's helper-bandwidth process.
+//! let mut bw = MarkovBandwidth::paper_default(&mut rng);
+//! for _ in 0..10 {
+//!     let level = bw.level();
+//!     assert!([700.0, 800.0, 900.0].contains(&level));
+//!     bw.step(&mut rng);
+//! }
+//! ```
+
+pub mod bandwidth;
+pub mod markov;
+pub mod process;
+pub mod rng;
+pub mod zipf;
+
+pub use bandwidth::{BandwidthProcess, MarkovBandwidth};
+pub use markov::MarkovChain;
+pub use zipf::Zipf;

@@ -1,0 +1,126 @@
+//! Property-based tests for the stochastic substrate.
+
+use proptest::prelude::*;
+use rths_math::Matrix;
+use rths_stoch::bandwidth::{BandwidthProcess, MarkovBandwidth, RandomWalkBandwidth};
+use rths_stoch::markov::MarkovChain;
+use rths_stoch::process::{sample_geometric, sample_poisson, ChurnProcess};
+use rths_stoch::rng::{derive_seed, entity_rng, seeded_rng};
+use rths_stoch::zipf::Zipf;
+
+/// Strategy producing a random row-stochastic matrix with strictly positive
+/// entries (hence irreducible and aperiodic).
+fn positive_kernel(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(0.05..1.0f64, n * n).prop_map(move |raw| {
+        let mut m = Matrix::from_vec(n, n, raw);
+        for r in 0..n {
+            let s: f64 = m.row(r).iter().sum();
+            for c in 0..n {
+                m[(r, c)] /= s;
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn stationary_distribution_is_invariant(kernel in positive_kernel(4)) {
+        let chain = MarkovChain::new(kernel, 0).unwrap();
+        prop_assert!(chain.is_ergodic());
+        let pi = chain.stationary_distribution().unwrap();
+        prop_assert!(rths_math::vector::is_distribution(&pi, 1e-9));
+        let pushed = chain.transition().vec_mul(&pi);
+        prop_assert!(rths_math::vector::max_abs_diff(&pi, &pushed) < 1e-8);
+    }
+
+    #[test]
+    fn sticky_birth_death_always_valid(n in 1usize..12, stay in 0.0..0.999f64) {
+        let chain = MarkovChain::sticky_birth_death(n, stay, 0);
+        prop_assert!(chain.transition().is_row_stochastic(1e-9));
+        prop_assert!(chain.is_irreducible());
+    }
+
+    #[test]
+    fn markov_step_stays_in_range(kernel in positive_kernel(5), seed in any::<u64>()) {
+        let mut chain = MarkovChain::new(kernel, 0).unwrap();
+        let mut rng = seeded_rng(seed);
+        for _ in 0..100 {
+            let s = chain.step(&mut rng);
+            prop_assert!(s < 5);
+        }
+    }
+
+    #[test]
+    fn derive_seed_distinct_streams_distinct_seeds(base in any::<u64>(), s1 in 0u64..1000, s2 in 0u64..1000) {
+        prop_assume!(s1 != s2);
+        prop_assert_ne!(derive_seed(base, s1), derive_seed(base, s2));
+    }
+
+    #[test]
+    fn entity_rng_is_reproducible(base in any::<u64>(), stream in any::<u64>()) {
+        use rand::Rng;
+        let mut a = entity_rng(base, stream);
+        let mut b = entity_rng(base, stream);
+        prop_assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn poisson_is_nonnegative_and_finite(seed in any::<u64>(), lambda in 0.0..200.0f64) {
+        let mut rng = seeded_rng(seed);
+        let x = sample_poisson(&mut rng, lambda);
+        // Crude tail bound: extremely unlikely to be astronomically large.
+        prop_assert!(x < (lambda as u64 + 1) * 20 + 100);
+    }
+
+    #[test]
+    fn geometric_at_least_one(seed in any::<u64>(), p in 0.001..1.0f64) {
+        let mut rng = seeded_rng(seed);
+        prop_assert!(sample_geometric(&mut rng, p) >= 1);
+    }
+
+    #[test]
+    fn churn_departures_bounded_by_population(seed in any::<u64>(), online in 0usize..200, p in 0.0..1.0f64) {
+        let mut rng = seeded_rng(seed);
+        let churn = ChurnProcess::new(1.0, p);
+        let ev = churn.sample_epoch(&mut rng, online);
+        prop_assert!(ev.departures <= online as u64);
+    }
+
+    #[test]
+    fn zipf_allocation_sums(n in 1usize..30, s in 0.0..2.5f64, total in 0usize..5000) {
+        let z = Zipf::new(n, s);
+        let alloc = z.allocate(total);
+        prop_assert_eq!(alloc.iter().sum::<usize>(), total);
+    }
+
+    #[test]
+    fn zipf_sample_in_range(n in 1usize..50, s in 0.0..2.5f64, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn markov_bandwidth_levels_bounded(seed in any::<u64>(), stay in 0.5..0.999f64) {
+        let mut rng = seeded_rng(seed);
+        let mut bw = MarkovBandwidth::paper_with_stay(&mut rng, stay);
+        for _ in 0..200 {
+            prop_assert!(bw.level() >= bw.min_level());
+            prop_assert!(bw.level() <= bw.max_level());
+            bw.step(&mut rng);
+        }
+    }
+
+    #[test]
+    fn random_walk_never_escapes(seed in any::<u64>(), init in 0.3..0.7f64) {
+        let mut rng = seeded_rng(seed);
+        let mut bw = RandomWalkBandwidth::new(init * 1000.0, 100.0, 900.0, 37.0, 0.9);
+        for _ in 0..500 {
+            bw.step(&mut rng);
+            prop_assert!(bw.level() >= 100.0 && bw.level() <= 900.0);
+        }
+    }
+}

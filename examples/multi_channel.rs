@@ -1,0 +1,64 @@
+//! The multi-channel extension (the paper's stated future work): helpers
+//! jointly allocate bandwidth across the channels they serve while peers
+//! select helpers within their channel — and the allocation policy
+//! matters.
+//!
+//! Run with: `cargo run --release --example multi_channel`
+
+use rths_suite::prelude::*;
+
+fn run(policy: AllocationPolicy) -> rths_sim::multichannel::MultiChannelOutcome {
+    let config = MultiChannelConfig::standard(
+        /* channels */ 4,
+        /* bitrate  */ 400.0,
+        /* helpers  */ 8,
+        /* channels per helper */ 2,
+        /* viewers  */ 80,
+        /* zipf s   */ 1.5,
+        policy,
+        /* seed */ 5,
+    );
+    MultiChannelSystem::new(config).run(2500)
+}
+
+fn main() {
+    println!(
+        "4 channels (Zipf-1.5 popularity), 8 helpers serving 2 channels each,\n\
+         80 viewers at 400 kbps — comparing helper-level allocation policies\n"
+    );
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>9}",
+        "policy", "delivered", "server", "fairness", "regret"
+    );
+    for (name, policy) in [
+        ("even split", AllocationPolicy::EvenSplit),
+        ("load proportional", AllocationPolicy::LoadProportional),
+        ("water filling", AllocationPolicy::WaterFilling),
+    ] {
+        let out = run(policy);
+        println!(
+            "{:<20} {:>8.0}k {:>8.0}k {:>10.3} {:>9.1}",
+            name,
+            out.welfare.tail_mean(400),
+            out.server_load.tail_mean(400),
+            out.viewer_fairness,
+            out.worst_empirical_regret.tail_mean(400),
+        );
+    }
+
+    let out = run(AllocationPolicy::WaterFilling);
+    println!("\nper-channel detail (water filling):");
+    println!("{:<9} {:>9} {:>12} {:>11}", "channel", "viewers", "delivered", "continuity");
+    let viewers = MultiChannelConfig::zipf_population(4, 80, 1.5);
+    for (c, &v) in viewers.iter().enumerate() {
+        println!(
+            "{c:<9} {v:>9} {:>10.0}k {:>11.2}",
+            out.mean_channel_rates[c], out.channel_continuity[c]
+        );
+    }
+    println!(
+        "\ndemand-aware water filling routes helper bandwidth to where the\n\
+         audience actually is; the static even split strands capacity on\n\
+         unpopular channels."
+    );
+}

@@ -1,0 +1,73 @@
+//! The paper's core design argument, demonstrated: regret *tracking*
+//! (recency-weighted averaging) adapts to helper bandwidth shifts that
+//! regret *matching* (uniform averaging) follows only sluggishly.
+//!
+//! Half the helpers collapse from 900 to 100 kbps mid-run. Tracking peers
+//! evacuate within a few hundred epochs; matching peers stay anchored to
+//! stale averages and keep crowding the degraded helpers for thousands.
+//!
+//! Run with: `cargo run --release --example tracking_vs_matching`
+
+use rths_suite::prelude::*;
+use rths_suite::sparkline;
+
+const SHIFT_EPOCH: u64 = 3000;
+const TOTAL_EPOCHS: u64 = 6000;
+
+/// Per-epoch total load on the three degraded helpers (indices 0, 2, 4).
+fn degraded_load_series(out: &rths_sim::Outcome) -> Vec<f64> {
+    let n = out.metrics.epochs();
+    (0..n)
+        .map(|e| {
+            [0usize, 2, 4]
+                .iter()
+                .map(|&j| out.metrics.helper_loads[j].values()[e])
+                .sum()
+        })
+        .collect()
+}
+
+fn run(algorithm: Algorithm) -> rths_sim::Outcome {
+    let config = Scenario::regime_shift(SHIFT_EPOCH)
+        .learner(LearnerSpec { algorithm, ..LearnerSpec::default() })
+        .seed(42)
+        .build();
+    System::new(config).run(TOTAL_EPOCHS)
+}
+
+fn main() {
+    println!(
+        "60 peers, 6 helpers; helpers 0/2/4 collapse 900 -> 100 kbps at epoch {SHIFT_EPOCH}\n"
+    );
+    let tracking = run(Algorithm::Rths);
+    let matching = run(Algorithm::RegretMatching);
+
+    let mut summaries = Vec::new();
+    for (name, out) in [("TRACKING (RTHS)", &tracking), ("MATCHING (uniform)", &matching)] {
+        let series = degraded_load_series(out);
+        let shift = SHIFT_EPOCH as usize;
+        let mean = |lo: usize, hi: usize| rths_math::stats::mean(&series[lo..hi]);
+        let pre = mean(shift - 300, shift);
+        let at300 = mean(shift + 200, shift + 400);
+        let at1000 = mean(shift + 900, shift + 1100);
+        let end = mean(series.len() - 300, series.len());
+        println!("{name}");
+        println!("  load on degraded helpers  {}", sparkline(&series, 66));
+        println!(
+            "  pre-shift {pre:5.1}   +300 epochs {at300:5.1}   +1000 epochs {at1000:5.1}   end {end:5.1}"
+        );
+        println!();
+        summaries.push((pre, at300, end));
+    }
+
+    let (pre_t, t300, t_end) = summaries[0];
+    let (_, m300, _) = summaries[1];
+    let evac_t = pre_t - t300;
+    let evac_m = pre_t - m300;
+    println!(
+        "300 epochs after the collapse, tracking has shed {evac_t:.1} peers from the\n\
+         degraded helpers; matching only {evac_m:.1}. That gap — the ability to\n\
+         \"gradually let go of the past\" (paper §II) — is why RTHS replaces the\n\
+         uniform average of classic regret matching. (steady state ≈ {t_end:.1})"
+    );
+}

@@ -1,0 +1,91 @@
+//! Robustness under churn, flash crowds and helper failures.
+
+use rths_sim::churn::FailureSchedule;
+use rths_sim::{BandwidthSpec, LearnerSpec, Scenario, SimConfig, System};
+use rths_stoch::process::FlashCrowd;
+
+/// Under stationary churn the system keeps serving: population hovers at
+/// the equilibrium and fairness stays high.
+#[test]
+fn churn_keeps_system_healthy() {
+    let mut system = System::new(Scenario::churn().seed(21).build());
+    let out = system.run(3000);
+    let pops = out.metrics.population.values();
+    let mean_pop = rths_math::stats::mean(&pops[1000..]);
+    assert!(
+        (mean_pop - 100.0).abs() < 15.0,
+        "population {mean_pop:.0} far from equilibrium 100"
+    );
+    // Peers alive at the end still receive sensible service.
+    let jain = out.metrics.long_run_fairness();
+    assert!(jain > 0.8, "fairness under churn too low: {jain:.3}");
+    // Loads always match the live population.
+    for e in 0..out.metrics.epochs() {
+        let l: f64 = out.metrics.helper_loads.iter().map(|s| s.values()[e]).sum();
+        assert_eq!(l, out.metrics.population.values()[e]);
+    }
+}
+
+/// A flash crowd triples the audience; total delivered rate scales up
+/// (helpers absorb the surge) and recovers when the crowd leaves.
+#[test]
+fn flash_crowd_is_absorbed() {
+    let config = SimConfig::builder(40, vec![BandwidthSpec::Paper { stay: 0.98 }; 8])
+        .churn(rths_stoch::process::ChurnProcess::new(0.8, 0.02))
+        .demand(300.0)
+        .seed(22)
+        .build();
+    let mut system = System::new(config);
+    let crowd = FlashCrowd::new(800, 1200, 10.0);
+    let out = rths_sim::workload::run_flash_crowd(&mut system, 2400, crowd);
+    let pops = out.metrics.population.values();
+    let before = rths_math::stats::mean(&pops[600..800]);
+    let during = rths_math::stats::mean(&pops[1000..1200]);
+    let after = rths_math::stats::mean(&pops[2200..]);
+    assert!(during > before * 1.5, "surge invisible: {before:.0} -> {during:.0}");
+    assert!(after < during * 0.8, "population did not drain: {during:.0} -> {after:.0}");
+    // Server picks up the surge deficit.
+    let load_before = rths_math::stats::mean(&out.metrics.server_load.values()[600..800]);
+    let load_during = rths_math::stats::mean(&out.metrics.server_load.values()[1000..1200]);
+    assert!(load_during > load_before, "server load did not rise during crowd");
+}
+
+/// Helper outage and recovery: peers evacuate a dead helper (with the
+/// conditional-regret extension) and re-adopt it after recovery.
+#[test]
+fn outage_and_recovery_cycle() {
+    let config = SimConfig::builder(16, vec![BandwidthSpec::Constant(800.0); 4])
+        .learner(LearnerSpec { conditional: true, ..LearnerSpec::default() })
+        .seed(23)
+        .build();
+    let mut system = System::new(config);
+    let schedule = FailureSchedule::new().fail_at(1500, 2).recover_at(3000, 2);
+    let out = schedule.run(&mut system, 4800);
+
+    let loads2 = out.metrics.helper_loads[2].values();
+    let healthy = rths_math::stats::mean(&loads2[1200..1500]);
+    let during = rths_math::stats::mean(&loads2[2600..3000]);
+    let recovered = rths_math::stats::mean(&loads2[4400..]);
+    assert!(healthy > 2.5, "helper 2 unused while healthy: {healthy:.2}");
+    assert!(during < healthy * 0.55, "no evacuation: {healthy:.2} -> {during:.2}");
+    assert!(
+        recovered > during + 0.7,
+        "no re-adoption after recovery: {during:.2} -> {recovered:.2}"
+    );
+}
+
+/// Determinism survives churn and failures: identical configs and
+/// schedules give identical outcomes.
+#[test]
+fn orchestrated_runs_are_deterministic() {
+    let build = || {
+        let config = Scenario::churn().seed(24).build();
+        let mut system = System::new(config);
+        let schedule = FailureSchedule::new().fail_at(200, 0).recover_at(400, 0);
+        schedule.run(&mut system, 600)
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.metrics.welfare.values(), b.metrics.welfare.values());
+    assert_eq!(a.final_population, b.final_population);
+}

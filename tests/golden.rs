@@ -1,0 +1,59 @@
+//! Golden regression tests: tiny runs with pinned exact values.
+//!
+//! Every stochastic component is seeded, so identical binaries must
+//! produce identical trajectories. These tests pin a handful of exact
+//! outputs; any unintended change to RNG stream layout, learner update
+//! order, or rate arithmetic fails them loudly. If a change is
+//! *intentional* (e.g. a new learner default), update the constants and
+//! say so in the commit message.
+
+use rths_sim::{BandwidthSpec, Scenario, SimConfig, System};
+
+#[test]
+fn golden_small_run_welfare_prefix() {
+    let mut system = System::new(
+        SimConfig::builder(4, vec![BandwidthSpec::Constant(800.0); 2]).seed(1).build(),
+    );
+    let out = system.run(8);
+    // Loads are integers and capacities constant, so welfare per epoch is
+    // one of {800, 1600} exactly, depending on coverage.
+    let welfare = out.metrics.welfare.values();
+    for &w in welfare {
+        assert!(
+            (w - 800.0).abs() < 1e-12 || (w - 1600.0).abs() < 1e-12,
+            "unexpected welfare value {w}"
+        );
+    }
+    // Pin the exact coverage pattern for seed 1.
+    let covered: Vec<bool> = welfare.iter().map(|&w| w > 1000.0).collect();
+    assert_eq!(
+        covered,
+        vec![true; 8],
+        "coverage pattern drifted: {covered:?}"
+    );
+}
+
+#[test]
+fn golden_paper_small_signature() {
+    let mut system = System::new(Scenario::paper_small().seed(42).build());
+    let out = system.run(50);
+    // Signature: the sum of the welfare series, a single number that
+    // fingerprints the entire coupled trajectory (helpers' chains, peer
+    // choices, rate arithmetic).
+    let signature: f64 = out.metrics.welfare.values().iter().sum();
+    let expected = 144_100.0;
+    assert!(
+        (signature - expected).abs() < 1e-6,
+        "trajectory fingerprint drifted: {signature:.9} vs {expected:.9}"
+    );
+}
+
+#[test]
+fn golden_fingerprint_is_stable_across_runs() {
+    let run = || {
+        let mut system = System::new(Scenario::paper_small().seed(42).build());
+        let out = system.run(50);
+        out.metrics.welfare.values().iter().sum::<f64>()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,89 @@
+//! The simulator and the threaded actor runtime implement the *same
+//! system*: with identical seeds and no faults they must agree
+//! bit-for-bit, because every actor owns the same deterministic RNG
+//! stream in both implementations and the epoch protocol is a barrier.
+//!
+//! This is the strongest cross-implementation test in the workspace: any
+//! divergence in learner updates, rate allocation, or metric arithmetic
+//! between `rths-sim` and `rths-net` fails it.
+
+use rths_net::{FaultPlan, NetConfig, NetRuntime};
+use rths_sim::{BandwidthSpec, Scenario, SimConfig, System};
+
+fn assert_equivalent(sim_config: SimConfig, epochs: u64) {
+    let mut sim = System::new(sim_config.clone());
+    let sim_out = sim.run(epochs);
+    let net_out = NetRuntime::new(NetConfig::from_sim(sim_config)).run(epochs);
+
+    assert_eq!(sim_out.epochs, net_out.epochs);
+    // Per-epoch series must match exactly.
+    assert_eq!(
+        sim_out.metrics.welfare.values(),
+        net_out.metrics.welfare.values(),
+        "welfare series diverged"
+    );
+    assert_eq!(
+        sim_out.metrics.server_load.values(),
+        net_out.metrics.server_load.values(),
+        "server load series diverged"
+    );
+    for (j, (a, b)) in sim_out
+        .metrics
+        .helper_loads
+        .iter()
+        .zip(&net_out.metrics.helper_loads)
+        .enumerate()
+    {
+        assert_eq!(a.values(), b.values(), "helper {j} load series diverged");
+    }
+    assert_eq!(
+        sim_out.metrics.worst_empirical_regret.values(),
+        net_out.metrics.worst_empirical_regret.values(),
+        "empirical regret series diverged"
+    );
+    // Final per-peer summaries.
+    assert_eq!(sim_out.metrics.mean_peer_rates, net_out.peer_mean_rates);
+    assert_eq!(sim_out.metrics.peer_continuity, net_out.peer_continuity);
+}
+
+#[test]
+fn equivalent_on_paper_small() {
+    assert_equivalent(Scenario::paper_small().seed(42).build(), 150);
+}
+
+#[test]
+fn equivalent_with_demand_cap() {
+    assert_equivalent(Scenario::paper_server_load().seed(7).build(), 120);
+}
+
+#[test]
+fn equivalent_with_heterogeneous_processes() {
+    let config = SimConfig::builder(
+        9,
+        vec![
+            BandwidthSpec::Paper { stay: 0.9 },
+            BandwidthSpec::Constant(650.0),
+            BandwidthSpec::GilbertElliott { good: 900.0, bad: 300.0, p_gb: 0.05, p_bg: 0.2 },
+        ],
+    )
+    .seed(99)
+    .build();
+    assert_equivalent(config, 200);
+}
+
+#[test]
+fn jitter_does_not_change_results() {
+    // Timing jitter reorders thread interleavings but the barrier protocol
+    // must absorb it completely.
+    let config = Scenario::paper_small().seed(5).build();
+    let clean = NetRuntime::new(NetConfig::from_sim(config.clone())).run(60);
+    let jittery = NetRuntime::new(
+        NetConfig::from_sim(config).with_faults(FaultPlan::none().with_jitter(200)),
+    )
+    .run(60);
+    assert_eq!(
+        clean.metrics.welfare.values(),
+        jittery.metrics.welfare.values(),
+        "jitter changed outcomes — barrier protocol is leaky"
+    );
+}
