@@ -18,8 +18,7 @@ struct Row {
 }
 
 fn run(churn: bool, conditional: bool) -> Row {
-    let churn_process =
-        if churn { ChurnProcess::new(2.0, 0.02) } else { ChurnProcess::none() };
+    let churn_process = if churn { ChurnProcess::new(2.0, 0.02) } else { ChurnProcess::none() };
     let config = SimConfig::builder(100, vec![BandwidthSpec::Paper { stay: 0.98 }; 10])
         .churn(churn_process)
         .learner(LearnerSpec { conditional, ..LearnerSpec::default() })
@@ -57,8 +56,12 @@ fn main() {
             let r = run(churn, conditional);
             println!(
                 "{:>6} {:>12} | {:>8.1}% {:>8.1}% {:>9.1}% {:>7.3}",
-                r.churn, r.conditional,
-                100.0 * r.healthy, 100.0 * r.outage, 100.0 * r.recovered, r.jain
+                r.churn,
+                r.conditional,
+                100.0 * r.healthy,
+                100.0 * r.outage,
+                100.0 * r.recovered,
+                r.jain
             );
             rows.push(vec![
                 r.churn as u8 as f64,

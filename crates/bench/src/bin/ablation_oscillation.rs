@@ -18,7 +18,9 @@ fn main() {
     let n = 20usize;
     let caps = vec![800.0, 800.0];
     let stages = 3000usize;
-    println!("Ablation — §III.B oscillation: {n} peers, two 800 kbps helpers, all start on h1\n");
+    println!(
+        "Ablation — §III.B oscillation: {n} peers, two 800 kbps helpers, all start on h1\n"
+    );
 
     // Myopic synchronous best response.
     let game = HelperSelectionGame::new(caps.clone());
@@ -55,9 +57,6 @@ fn main() {
     println!("\nRTHS:");
     println!("  switches per peer per stage: early {early:.3} -> converged {late:.3}");
     println!("  final mean loads: {:?} (stable near 10/10)", result.mean_loads);
-    println!(
-        "\ninterruption ratio BR/RTHS at convergence: {:.0}x",
-        br_rate / late.max(1e-6)
-    );
+    println!("\ninterruption ratio BR/RTHS at convergence: {:.0}x", br_rate / late.max(1e-6));
     println!("csv: {}", path.display());
 }

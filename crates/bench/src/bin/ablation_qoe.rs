@@ -16,7 +16,9 @@ fn main() {
     let caps = [800.0, 800.0];
     let bitrate = 75.0; // fair share is 80 kbps — feasible, but tight.
     let epochs = 3000usize;
-    println!("Ablation — playback QoE: {n} peers, two 800 kbps helpers, {bitrate} kbps stream\n");
+    println!(
+        "Ablation — playback QoE: {n} peers, two 800 kbps helpers, {bitrate} kbps stream\n"
+    );
 
     // Best-response herding: everyone always shares one helper.
     let game = HelperSelectionGame::new(caps.to_vec());
@@ -57,12 +59,10 @@ fn main() {
         let stalls_pm = rths_math::stats::mean(
             &stats.iter().map(|s| s.stall_events as f64 / minutes).collect::<Vec<_>>(),
         );
-        let rebuffer = rths_math::stats::mean(
-            &stats.iter().map(|s| s.rebuffer_ratio).collect::<Vec<_>>(),
-        );
-        let startup = rths_math::stats::mean(
-            &stats.iter().map(|s| s.startup_delay).collect::<Vec<_>>(),
-        );
+        let rebuffer =
+            rths_math::stats::mean(&stats.iter().map(|s| s.rebuffer_ratio).collect::<Vec<_>>());
+        let startup =
+            rths_math::stats::mean(&stats.iter().map(|s| s.startup_delay).collect::<Vec<_>>());
         println!("{name:<22} {stalls_pm:>14.2} {rebuffer:>16.3} {startup:>15.1}");
         rows.push(vec![idx as f64, stalls_pm, rebuffer, startup]);
     }

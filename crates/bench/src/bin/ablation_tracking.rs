@@ -8,9 +8,7 @@ use rths_sim::{Algorithm, LearnerSpec, Scenario, System};
 
 fn degraded_series(out: &rths_sim::Outcome) -> Vec<f64> {
     (0..out.metrics.epochs())
-        .map(|e| {
-            [0usize, 2, 4].iter().map(|&j| out.metrics.helper_loads[j].values()[e]).sum()
-        })
+        .map(|e| [0usize, 2, 4].iter().map(|&j| out.metrics.helper_loads[j].values()[e]).sum())
         .collect()
 }
 
@@ -33,8 +31,7 @@ fn main() {
     let m = degraded_series(&matching);
     let x = degraded_series(&exp3);
 
-    let rows: Vec<Vec<f64>> =
-        (0..t.len()).map(|i| vec![i as f64, t[i], m[i], x[i]]).collect();
+    let rows: Vec<Vec<f64>> = (0..t.len()).map(|i| vec![i as f64, t[i], m[i], x[i]]).collect();
     let path = write_csv(
         "ablation_tracking",
         &["epoch", "tracking_degraded_load", "matching_degraded_load", "exp3_degraded_load"],

@@ -20,12 +20,8 @@ fn main() {
     println!("exact max-welfare CE (LP, 243 profiles): welfare {:.0} kbps", ce.welfare());
 
     // Learned play, discarding the transient.
-    let cfg = RthsConfig::builder(3)
-        .epsilon(0.01)
-        .delta(0.1)
-        .mu(4.0 * 2200.0 / 5.0)
-        .build()
-        .unwrap();
+    let cfg =
+        RthsConfig::builder(3).epsilon(0.01).delta(0.1).mu(4.0 * 2200.0 / 5.0).build().unwrap();
     let learners: Vec<RthsLearner> = (0..5).map(|_| RthsLearner::new(cfg.clone())).collect();
     let mut driver = RepeatedGameDriver::new(learners, caps.clone()).record_joint_from(2000);
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
@@ -40,8 +36,11 @@ fn main() {
     println!("  max CCE residual:     {:.2} kbps (external regret)", cce.max_residual);
     println!("  mean utility:         {:.1} kbps", report.mean_utility);
     println!("  relative residual:    {:.4}", report.relative_residual());
-    println!("  welfare:              {:.0} kbps ({:.1}% of best CE)",
-        learned_welfare, 100.0 * learned_welfare / ce.welfare());
+    println!(
+        "  welfare:              {:.0} kbps ({:.1}% of best CE)",
+        learned_welfare,
+        100.0 * learned_welfare / ce.welfare()
+    );
     if let Some((i, j, k)) = report.worst {
         println!("  worst incentive: peer {i} playing helper {j} vs helper {k}");
     }
@@ -49,7 +48,11 @@ fn main() {
         "\nverdict: play is an ε-CE with ε = {:.1} kbps (relative {:.2}%) — {}",
         report.max_residual,
         100.0 * report.relative_residual(),
-        if report.relative_residual() < 0.1 { "converged to the CE set" } else { "NOT converged" }
+        if report.relative_residual() < 0.1 {
+            "converged to the CE set"
+        } else {
+            "NOT converged"
+        }
     );
 
     let rows = vec![vec![
@@ -61,7 +64,13 @@ fn main() {
     ]];
     let path = write_csv(
         "ce_verify",
-        &["max_residual", "mean_utility", "relative_residual", "learned_welfare", "best_ce_welfare"],
+        &[
+            "max_residual",
+            "mean_utility",
+            "relative_residual",
+            "learned_welfare",
+            "best_ce_welfare",
+        ],
         &rows,
     );
     println!("csv: {}", path.display());

@@ -43,7 +43,16 @@ fn main() {
     );
 
     println!("\nper-channel view under water filling:");
-    let config = MultiChannelConfig::standard(4, 400.0, 12, 2, 240, 1.5, AllocationPolicy::WaterFilling, 13);
+    let config = MultiChannelConfig::standard(
+        4,
+        400.0,
+        12,
+        2,
+        240,
+        1.5,
+        AllocationPolicy::WaterFilling,
+        13,
+    );
     let viewers = config.viewers.clone();
     let mut system = MultiChannelSystem::new(config);
     let out = system.run(2500);

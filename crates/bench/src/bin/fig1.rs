@@ -41,7 +41,8 @@ fn main() {
         .enumerate()
         .map(|(i, (&e, &q))| vec![i as f64, e, q])
         .collect();
-    let path = write_csv("fig1_worst_regret", &["epoch", "empirical_regret", "estimate"], &rows);
+    let path =
+        write_csv("fig1_worst_regret", &["epoch", "empirical_regret", "estimate"], &rows);
 
     print_series(
         "worst-player empirical regret (mean over seeds)",
@@ -51,7 +52,13 @@ fn main() {
 
     let early = rths_math::stats::mean(&mean_emp[20..120]);
     let late = rths_math::stats::mean(&mean_emp[mean_emp.len() - 300..]);
-    println!("\nsummary: early {early:.2} kbps -> late {late:.2} kbps ({:.1}x reduction)", early / late);
-    println!("paper's shape: regret decays toward zero — {}", if late < 0.35 * early { "REPRODUCED" } else { "NOT reproduced" });
+    println!(
+        "\nsummary: early {early:.2} kbps -> late {late:.2} kbps ({:.1}x reduction)",
+        early / late
+    );
+    println!(
+        "paper's shape: regret decays toward zero — {}",
+        if late < 0.35 * early { "REPRODUCED" } else { "NOT reproduced" }
+    );
     println!("csv: {}", path.display());
 }

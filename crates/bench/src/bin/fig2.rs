@@ -46,12 +46,10 @@ fn main() {
         })
         .collect();
 
-    let rows: Vec<Vec<f64>> = smooth
-        .iter()
-        .enumerate()
-        .map(|(i, &w)| vec![i as f64, w, optimum])
-        .collect();
-    let path = write_csv("fig2_welfare_vs_mdp", &["epoch", "rths_welfare", "mdp_optimum"], &rows);
+    let rows: Vec<Vec<f64>> =
+        smooth.iter().enumerate().map(|(i, &w)| vec![i as f64, w, optimum]).collect();
+    let path =
+        write_csv("fig2_welfare_vs_mdp", &["epoch", "rths_welfare", "mdp_optimum"], &rows);
 
     print_series(
         "social welfare, 100-epoch moving average (mean over seeds)",
@@ -60,7 +58,10 @@ fn main() {
     );
     let converged = rths_math::stats::mean(&smooth[smooth.len() - 1000..]);
     println!("\nMDP optimum:        {optimum:8.0} kbps");
-    println!("RTHS converged:     {converged:8.0} kbps  ({:.1}% of optimum)", 100.0 * converged / optimum);
+    println!(
+        "RTHS converged:     {converged:8.0} kbps  ({:.1}% of optimum)",
+        100.0 * converged / optimum
+    );
     println!(
         "paper's shape: near-optimal convergence — {}",
         if converged > 0.9 * optimum { "REPRODUCED" } else { "NOT reproduced" }

@@ -40,16 +40,15 @@ fn main() {
         &rows,
     );
 
-    print_series(
-        "server load (mean over seeds)",
-        ("epoch", "kbps"),
-        &sample_points(&load, 20),
-    );
+    print_series("server load (mean over seeds)", ("epoch", "kbps"), &sample_points(&load, 20));
     let tail_load = rths_math::stats::mean(&load[load.len() - 1000..]);
     let bound = min_deficit[0];
     println!("\ntotal demand:                 4000 kbps");
     println!("minimum bandwidth deficit:    {bound:6.0} kbps (= 4000 - 4x700)");
-    println!("converged real server load:   {tail_load:6.0} kbps ({:.2}x the bound)", tail_load / bound);
+    println!(
+        "converged real server load:   {tail_load:6.0} kbps ({:.2}x the bound)",
+        tail_load / bound
+    );
     println!(
         "paper's shape: real load close to the deficit bound — {}",
         if tail_load < 1.6 * bound { "REPRODUCED" } else { "NOT reproduced" }

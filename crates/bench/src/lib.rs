@@ -64,9 +64,7 @@ pub fn mean_series(series: &[Vec<f64>]) -> Vec<f64> {
     assert!(!series.is_empty(), "need at least one series");
     let len = series[0].len();
     assert!(series.iter().all(|s| s.len() == len), "series lengths differ");
-    (0..len)
-        .map(|i| series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64)
-        .collect()
+    (0..len).map(|i| series.iter().map(|s| s[i]).sum::<f64>() / series.len() as f64).collect()
 }
 
 /// Prints a two-column series table with an optional third column.

@@ -271,8 +271,14 @@ mod tests {
             RthsConfig::builder(2).epsilon(1.5).build().unwrap_err(),
             ConfigError::BadEpsilon
         );
-        assert_eq!(RthsConfig::builder(2).delta(0.0).build().unwrap_err(), ConfigError::BadDelta);
-        assert_eq!(RthsConfig::builder(2).delta(1.0).build().unwrap_err(), ConfigError::BadDelta);
+        assert_eq!(
+            RthsConfig::builder(2).delta(0.0).build().unwrap_err(),
+            ConfigError::BadDelta
+        );
+        assert_eq!(
+            RthsConfig::builder(2).delta(1.0).build().unwrap_err(),
+            ConfigError::BadDelta
+        );
         assert_eq!(RthsConfig::builder(2).mu(0.0).build().unwrap_err(), ConfigError::BadMu);
         assert_eq!(
             RthsConfig::builder(2).mu(f64::INFINITY).build().unwrap_err(),

@@ -177,8 +177,7 @@ impl<L: Learner> RepeatedGameDriver<L> {
                 joint.record(&profile);
             }
             welfare.push(stage_welfare);
-            let worst =
-                self.learners.iter().map(|l| l.max_regret()).fold(0.0f64, f64::max);
+            let worst = self.learners.iter().map(|l| l.max_regret()).fold(0.0f64, f64::max);
             worst_regret.push(worst);
             let max_sum = true_regret_sums.iter().copied().fold(0.0f64, f64::max);
             worst_empirical_regret.push(max_sum / (stage + 1) as f64);
@@ -213,8 +212,7 @@ mod tests {
 
     #[test]
     fn run_produces_full_series() {
-        let mut driver =
-            RepeatedGameDriver::new(population(6, 2, 3200.0), vec![800.0, 800.0]);
+        let mut driver = RepeatedGameDriver::new(population(6, 2, 3200.0), vec![800.0, 800.0]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let result = driver.run(200, &mut rng);
         assert_eq!(result.stages, 200);
@@ -238,8 +236,7 @@ mod tests {
 
     #[test]
     fn welfare_never_exceeds_total_capacity() {
-        let mut driver =
-            RepeatedGameDriver::new(population(5, 2, 3200.0), vec![800.0, 600.0]);
+        let mut driver = RepeatedGameDriver::new(population(5, 2, 3200.0), vec![800.0, 600.0]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let result = driver.run(100, &mut rng);
         for &w in result.welfare.values() {
@@ -249,8 +246,7 @@ mod tests {
 
     #[test]
     fn empirical_regret_decays_on_equal_helpers() {
-        let mut driver =
-            RepeatedGameDriver::new(population(10, 2, 3200.0), vec![800.0, 800.0]);
+        let mut driver = RepeatedGameDriver::new(population(10, 2, 3200.0), vec![800.0, 800.0]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let result = driver.run(4000, &mut rng);
         let series = result.worst_empirical_regret.values();
@@ -266,8 +262,7 @@ mod tests {
 
     #[test]
     fn run_with_varies_capacities() {
-        let mut driver =
-            RepeatedGameDriver::new(population(4, 2, 3200.0), vec![800.0, 800.0]);
+        let mut driver = RepeatedGameDriver::new(population(4, 2, 3200.0), vec![800.0, 800.0]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let result = driver.run_with(50, &mut rng, |stage, caps| {
             caps[0] = if stage < 25 { 900.0 } else { 700.0 };
@@ -287,8 +282,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "length changed")]
     fn capacity_length_change_panics() {
-        let mut driver =
-            RepeatedGameDriver::new(population(2, 2, 3200.0), vec![800.0, 800.0]);
+        let mut driver = RepeatedGameDriver::new(population(2, 2, 3200.0), vec![800.0, 800.0]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let _ = driver.run_with(10, &mut rng, |_, caps| {
             caps.push(100.0);

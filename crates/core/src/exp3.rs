@@ -222,7 +222,11 @@ mod tests {
         let mut r = rng(1);
         for s in 0..2000 {
             let a = l.select_action(&mut r);
-            l.observe(if (s / 100) % 2 == 0 { (a * 50) as f64 } else { 100.0 - (a * 50) as f64 });
+            l.observe(if (s / 100) % 2 == 0 {
+                (a * 50) as f64
+            } else {
+                100.0 - (a * 50) as f64
+            });
             assert!(rths_math::vector::is_distribution(l.probabilities(), 1e-9));
             let floor = 0.1 / 3.0;
             for &p in l.probabilities() {

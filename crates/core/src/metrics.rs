@@ -86,13 +86,8 @@ impl ConvergenceSeries {
             return Vec::new();
         }
         let stride = self.values.len().div_ceil(max_points).max(1);
-        let mut out: Vec<(usize, f64)> = self
-            .values
-            .iter()
-            .enumerate()
-            .step_by(stride)
-            .map(|(i, &v)| (i, v))
-            .collect();
+        let mut out: Vec<(usize, f64)> =
+            self.values.iter().enumerate().step_by(stride).map(|(i, &v)| (i, v)).collect();
         let last_idx = self.values.len() - 1;
         if out.last().map(|&(i, _)| i) != Some(last_idx) {
             out.push((last_idx, self.values[last_idx]));

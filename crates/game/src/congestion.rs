@@ -153,11 +153,7 @@ impl HelperSelectionGame {
     /// delivers `n_j · rate(j, n_j)` total (equal to `C_j` uncapped, or
     /// `min(C_j, n_j·demand)` when capped).
     pub fn welfare_of_loads(&self, loads: &[usize]) -> f64 {
-        loads
-            .iter()
-            .enumerate()
-            .map(|(j, &n)| n as f64 * self.rate(j, n))
-            .sum()
+        loads.iter().enumerate().map(|(j, &n)| n as f64 * self.rate(j, n)).sum()
     }
 }
 

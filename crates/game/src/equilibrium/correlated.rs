@@ -123,11 +123,7 @@ fn solve_ce<G: Game + ?Sized>(
 
     let sol = lp.solve()?;
     let probs = sol.x().to_vec();
-    let welfare = profiles
-        .iter()
-        .zip(&probs)
-        .map(|(p, &z)| z * game.social_welfare(p))
-        .sum();
+    let welfare = profiles.iter().zip(&probs).map(|(p, &z)| z * game.social_welfare(p)).sum();
     Ok(CorrelatedEquilibrium { profiles, probs, welfare })
 }
 
@@ -144,10 +140,7 @@ mod tests {
     ///   dare/dare: (0,0); dare/chicken: (7,2); chicken/dare: (2,7);
     ///   chicken/chicken: (6,6).
     fn chicken() -> TableGame {
-        TableGame::two_player(
-            &[&[0.0, 7.0], &[2.0, 6.0]],
-            &[&[0.0, 2.0], &[7.0, 6.0]],
-        )
+        TableGame::two_player(&[&[0.0, 7.0], &[2.0, 6.0]], &[&[0.0, 2.0], &[7.0, 6.0]])
     }
 
     #[test]
@@ -174,10 +167,8 @@ mod tests {
 
     #[test]
     fn prisoners_dilemma_ce_is_defect_defect() {
-        let pd = TableGame::two_player(
-            &[&[3.0, 0.0], &[5.0, 1.0]],
-            &[&[3.0, 5.0], &[0.0, 1.0]],
-        );
+        let pd =
+            TableGame::two_player(&[&[3.0, 0.0], &[5.0, 1.0]], &[&[3.0, 5.0], &[0.0, 1.0]]);
         // Defection strictly dominates, so the unique CE is (D, D).
         let ce = max_welfare_ce(&pd).unwrap();
         let dd_index = 3; // lexicographic: (1,1)
@@ -227,10 +218,8 @@ mod tests {
 
     #[test]
     fn support_skips_zero_probability_profiles() {
-        let pd = TableGame::two_player(
-            &[&[3.0, 0.0], &[5.0, 1.0]],
-            &[&[3.0, 5.0], &[0.0, 1.0]],
-        );
+        let pd =
+            TableGame::two_player(&[&[3.0, 0.0], &[5.0, 1.0]], &[&[3.0, 5.0], &[0.0, 1.0]]);
         let ce = max_welfare_ce(&pd).unwrap();
         let support: Vec<_> = ce.support().collect();
         assert_eq!(support.len(), 1);

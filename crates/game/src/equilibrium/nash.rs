@@ -73,29 +73,23 @@ mod tests {
 
     #[test]
     fn prisoners_dilemma_has_defect_defect() {
-        let pd = TableGame::two_player(
-            &[&[3.0, 0.0], &[5.0, 1.0]],
-            &[&[3.0, 5.0], &[0.0, 1.0]],
-        );
+        let pd =
+            TableGame::two_player(&[&[3.0, 0.0], &[5.0, 1.0]], &[&[3.0, 5.0], &[0.0, 1.0]]);
         let ne = enumerate_pure_nash(&pd, 1e-9);
         assert_eq!(ne, vec![vec![1, 1]]);
     }
 
     #[test]
     fn matching_pennies_has_no_pure_nash() {
-        let mp = TableGame::two_player(
-            &[&[1.0, -1.0], &[-1.0, 1.0]],
-            &[&[-1.0, 1.0], &[1.0, -1.0]],
-        );
+        let mp =
+            TableGame::two_player(&[&[1.0, -1.0], &[-1.0, 1.0]], &[&[-1.0, 1.0], &[1.0, -1.0]]);
         assert!(enumerate_pure_nash(&mp, 1e-9).is_empty());
     }
 
     #[test]
     fn coordination_game_has_two_equilibria() {
-        let coord = TableGame::two_player(
-            &[&[2.0, 0.0], &[0.0, 1.0]],
-            &[&[2.0, 0.0], &[0.0, 1.0]],
-        );
+        let coord =
+            TableGame::two_player(&[&[2.0, 0.0], &[0.0, 1.0]], &[&[2.0, 0.0], &[0.0, 1.0]]);
         let ne = enumerate_pure_nash(&coord, 1e-9);
         assert_eq!(ne.len(), 2);
         assert!(ne.contains(&vec![0, 0]));

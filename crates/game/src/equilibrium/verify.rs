@@ -225,10 +225,7 @@ mod tests {
     use crate::normal_form::TableGame;
 
     fn chicken() -> TableGame {
-        TableGame::two_player(
-            &[&[0.0, 7.0], &[2.0, 6.0]],
-            &[&[0.0, 2.0], &[7.0, 6.0]],
-        )
+        TableGame::two_player(&[&[0.0, 7.0], &[2.0, 6.0]], &[&[0.0, 2.0], &[7.0, 6.0]])
     }
 
     #[test]
@@ -261,13 +258,8 @@ mod tests {
     fn congestion_fast_path_matches_generic() {
         let game = HelperSelectionGame::new(vec![800.0, 600.0, 400.0]).with_peers(4);
         let mut dist = JointDistribution::new();
-        let profiles = [
-            [0usize, 1, 2, 0],
-            [0, 0, 1, 2],
-            [1, 1, 0, 0],
-            [2, 1, 0, 0],
-            [0, 1, 2, 0],
-        ];
+        let profiles =
+            [[0usize, 1, 2, 0], [0, 0, 1, 2], [1, 1, 0, 0], [2, 1, 0, 0], [0, 1, 2, 0]];
         for p in &profiles {
             dist.record(p);
         }

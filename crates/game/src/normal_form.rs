@@ -30,8 +30,7 @@ pub trait Game {
 
     /// Total number of pure profiles `Π_i |A_i|`; `None` on overflow.
     fn num_profiles(&self) -> Option<usize> {
-        (0..self.num_players())
-            .try_fold(1usize, |acc, p| acc.checked_mul(self.num_actions(p)))
+        (0..self.num_players()).try_fold(1usize, |acc, p| acc.checked_mul(self.num_actions(p)))
     }
 }
 
@@ -206,10 +205,7 @@ mod tests {
     use super::*;
 
     fn matching_pennies() -> TableGame {
-        TableGame::two_player(
-            &[&[1.0, -1.0], &[-1.0, 1.0]],
-            &[&[-1.0, 1.0], &[1.0, -1.0]],
-        )
+        TableGame::two_player(&[&[1.0, -1.0], &[-1.0, 1.0]], &[&[-1.0, 1.0], &[1.0, -1.0]])
     }
 
     #[test]

@@ -97,12 +97,7 @@ impl MixedStrategy {
 
     /// Entropy in nats — 0 for pure strategies, `ln n` for uniform.
     pub fn entropy(&self) -> f64 {
-        -self
-            .probs
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| p * p.ln())
-            .sum::<f64>()
+        -self.probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>()
     }
 
     /// Total variation distance to another strategy of the same size.
@@ -112,12 +107,7 @@ impl MixedStrategy {
     /// Panics if the sizes differ.
     pub fn tv_distance(&self, other: &Self) -> f64 {
         assert_eq!(self.len(), other.len(), "strategy sizes differ");
-        0.5 * self
-            .probs
-            .iter()
-            .zip(&other.probs)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
+        0.5 * self.probs.iter().zip(&other.probs).map(|(a, b)| (a - b).abs()).sum::<f64>()
     }
 }
 

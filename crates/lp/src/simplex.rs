@@ -38,11 +38,8 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     // flipping the row first).
     //
     // Column layout: [structural 0..n | slack/surplus | artificial | rhs]
-    let mut rows: Vec<(Vec<f64>, Relation, f64)> = lp
-        .constraints()
-        .iter()
-        .map(|c| (c.coeffs.clone(), c.relation, c.rhs))
-        .collect();
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> =
+        lp.constraints().iter().map(|c| (c.coeffs.clone(), c.relation, c.rhs)).collect();
 
     // Make every rhs non-negative by flipping rows (Le<->Ge under negation).
     for (coeffs, rel, rhs) in &mut rows {
@@ -236,11 +233,7 @@ fn reduced_costs(tableau: &Matrix, basis: &[usize], costs: &[f64]) -> Vec<f64> {
 
 /// Current objective value `c_B · b`.
 fn objective_of(tableau: &Matrix, basis: &[usize], costs: &[f64], rhs_col: usize) -> f64 {
-    basis
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| costs[b] * tableau[(i, rhs_col)])
-        .sum()
+    basis.iter().enumerate().map(|(i, &b)| costs[b] * tableau[(i, rhs_col)]).sum()
 }
 
 /// Entering-column choice. `bland = false`: Dantzig pricing (most
@@ -294,11 +287,7 @@ fn pick_leaving(
                 Some((_, r, _)) if ratio > r + EPS => {}
                 Some((bi, r, key)) if ratio > r - EPS => {
                     // Tie: apply the mode's tie-break.
-                    let better = if bland {
-                        basis[i] < basis[bi]
-                    } else {
-                        a > key
-                    };
+                    let better = if bland { basis[i] < basis[bi] } else { a > key };
                     if better {
                         best = Some((i, ratio.min(r), if bland { 0.0 } else { a }));
                     }

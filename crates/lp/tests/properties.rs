@@ -11,10 +11,8 @@ use rths_lp::{LinearProgram, LpError, Relation};
 
 fn small_lp() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<f64>, f64)>)> {
     let costs = prop::collection::vec(-5.0..5.0f64, 2);
-    let rows = prop::collection::vec(
-        (prop::collection::vec(0.0..4.0f64, 2), 1.0..8.0f64),
-        1..5,
-    );
+    let rows =
+        prop::collection::vec((prop::collection::vec(0.0..4.0f64, 2), 1.0..8.0f64), 1..5);
     (costs, rows)
 }
 

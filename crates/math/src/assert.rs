@@ -36,10 +36,7 @@ pub fn approx_eq_rel(a: f64, b: f64, rel: f64) -> bool {
 pub fn assert_slices_close(a: &[f64], b: &[f64], tol: f64) {
     assert_eq!(a.len(), b.len(), "slice lengths differ: {} vs {}", a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!(
-            approx_eq(*x, *y, tol),
-            "slices differ at index {i}: {x} vs {y} (tol {tol})"
-        );
+        assert!(approx_eq(*x, *y, tol), "slices differ at index {i}: {x} vs {y} (tol {tol})");
     }
 }
 

@@ -179,9 +179,7 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "vector length must equal matrix cols");
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Row-vector–matrix product `v * self`.
@@ -237,11 +235,7 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Self) -> f64 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Applies `f` to every entry in place.

@@ -1,8 +1,8 @@
 //! Property-based tests for the math substrate.
 
 use proptest::prelude::*;
-use rths_math::{ewma, stats, Matrix};
 use rths_math::vector;
+use rths_math::{ewma, stats, Matrix};
 
 fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6..1e6f64, 1..max_len)

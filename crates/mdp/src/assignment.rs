@@ -72,11 +72,8 @@ pub fn optimal_loads(capacities: &[f64], num_peers: usize, demand: Option<f64>) 
         welfare += best_gain.max(0.0);
     }
     // Recompute welfare from scratch to avoid accumulation drift.
-    let welfare_exact: f64 = loads
-        .iter()
-        .zip(capacities)
-        .map(|(&n, &c)| helper_welfare(c, n, demand))
-        .sum();
+    let welfare_exact: f64 =
+        loads.iter().zip(capacities).map(|(&n, &c)| helper_welfare(c, n, demand)).sum();
     debug_assert!((welfare - welfare_exact).abs() < 1e-6);
     Allocation { loads, welfare: welfare_exact }
 }
@@ -90,7 +87,11 @@ pub fn optimal_loads(capacities: &[f64], num_peers: usize, demand: Option<f64>) 
 /// # Panics
 ///
 /// Same contract as [`optimal_loads`].
-pub fn optimal_loads_dp(capacities: &[f64], num_peers: usize, demand: Option<f64>) -> Allocation {
+pub fn optimal_loads_dp(
+    capacities: &[f64],
+    num_peers: usize,
+    demand: Option<f64>,
+) -> Allocation {
     assert!(!capacities.is_empty(), "need at least one helper");
     let h = capacities.len();
     let neg = f64::NEG_INFINITY;

@@ -161,12 +161,7 @@ mod tests {
 
     #[test]
     fn optimal_loads_for_state_covers_helpers() {
-        let bench = MdpBenchmark::from_parts(
-            vec![vec![800.0]; 3],
-            vec![vec![1.0]; 3],
-            7,
-            None,
-        );
+        let bench = MdpBenchmark::from_parts(vec![vec![800.0]; 3], vec![vec![1.0]; 3], 7, None);
         let alloc = bench.optimal_loads_for(&[700.0, 900.0, 800.0]);
         assert_eq!(alloc.loads.iter().sum::<usize>(), 7);
         assert!(alloc.loads.iter().all(|&l| l > 0));
@@ -175,8 +170,7 @@ mod tests {
 
     #[test]
     fn zero_peers_edge_case() {
-        let bench =
-            MdpBenchmark::from_parts(vec![vec![800.0]], vec![vec![1.0]], 0, None);
+        let bench = MdpBenchmark::from_parts(vec![vec![800.0]], vec![vec![1.0]], 0, None);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         assert_eq!(bench.optimal_welfare(&mut rng), 0.0);
         assert_eq!(bench.optimal_per_peer(&mut rng), 0.0);

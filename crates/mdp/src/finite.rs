@@ -217,8 +217,7 @@ impl FiniteMdp {
                     .fold(f64::NEG_INFINITY, f64::max);
                 backed[s] = best;
             }
-            let increments: Vec<f64> =
-                backed.iter().zip(&values).map(|(b, v)| b - v).collect();
+            let increments: Vec<f64> = backed.iter().zip(&values).map(|(b, v)| b - v).collect();
             let span = increments.iter().copied().fold(f64::NEG_INFINITY, f64::max)
                 - increments.iter().copied().fold(f64::INFINITY, f64::min);
             let anchor = backed[0];
@@ -303,11 +302,8 @@ pub fn helper_selection_mdp(
         let idx = decode_state(y, levels);
         let caps: Vec<f64> = (0..h).map(|j| levels[j][idx[j]]).collect();
         for (a, load) in loads.iter().enumerate() {
-            let w: f64 = load
-                .iter()
-                .zip(&caps)
-                .map(|(&n, &c)| helper_welfare(c, n, demand))
-                .sum();
+            let w: f64 =
+                load.iter().zip(&caps).map(|(&n, &c)| helper_welfare(c, n, demand)).sum();
             rewards[(y, a)] = w;
         }
     }
@@ -488,10 +484,7 @@ mod tests {
     #[test]
     fn no_convergence_is_reported() {
         let mdp = toy();
-        assert_eq!(
-            mdp.value_iteration(0.99, 1e-12, 3).unwrap_err(),
-            MdpError::NoConvergence
-        );
+        assert_eq!(mdp.value_iteration(0.99, 1e-12, 3).unwrap_err(), MdpError::NoConvergence);
     }
 
     #[test]

@@ -96,11 +96,7 @@ pub fn expected_optimal_welfare_uncapped_covered(
     levels: &[Vec<f64>],
     stationary: &[Vec<f64>],
 ) -> f64 {
-    levels
-        .iter()
-        .zip(stationary)
-        .map(|(l, pi)| rths_math::vector::dot(l, pi))
-        .sum()
+    levels.iter().zip(stationary).map(|(l, pi)| rths_math::vector::dot(l, pi)).sum()
 }
 
 #[cfg(test)]
@@ -130,10 +126,7 @@ mod tests {
         let exact = expected_optimal_welfare_exact(&levels, &pi, 5, Some(400.0), 100);
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let mc = expected_optimal_welfare_mc(&levels, &pi, 5, Some(400.0), 40_000, &mut rng);
-        assert!(
-            (mc - exact).abs() < 0.01 * exact,
-            "mc {mc} vs exact {exact}"
-        );
+        assert!((mc - exact).abs() < 0.01 * exact, "mc {mc} vs exact {exact}");
     }
 
     #[test]

@@ -125,8 +125,7 @@ mod tests {
         let a = FaultPlan::with_loss(0.5, 1);
         let b = FaultPlan::with_loss(0.5, 2);
         let n = 1000;
-        let disagreements =
-            (0..n).filter(|&p| a.is_lost(p, 0) != b.is_lost(p, 0)).count();
+        let disagreements = (0..n).filter(|&p| a.is_lost(p, 0) != b.is_lost(p, 0)).count();
         assert!(disagreements > 100, "only {disagreements} disagreements");
     }
 

@@ -284,10 +284,7 @@ impl NetRuntime {
 
         for j in 0..h {
             self.counters.control();
-            self.tracker
-                .helper(j)
-                .send(HelperMsg::Tick { epoch })
-                .expect("helper actor alive");
+            self.tracker.helper(j).send(HelperMsg::Tick { epoch }).expect("helper actor alive");
         }
         for tx in &self.peer_endpoints {
             self.counters.control();
@@ -526,20 +523,16 @@ mod tests {
         let sim = Scenario::paper_small().seed(2).build();
         let out = NetRuntime::new(NetConfig::from_sim(sim)).run(20);
         for e in 0..20 {
-            let total: f64 =
-                out.metrics.helper_loads.iter().map(|s| s.values()[e]).sum();
+            let total: f64 = out.metrics.helper_loads.iter().map(|s| s.values()[e]).sum();
             assert_eq!(total, 10.0);
         }
     }
 
     #[test]
     fn full_loss_starves_everyone() {
-        let sim = rths_sim::SimConfig::builder(
-            4,
-            vec![BandwidthSpec::Constant(800.0); 2],
-        )
-        .seed(3)
-        .build();
+        let sim = rths_sim::SimConfig::builder(4, vec![BandwidthSpec::Constant(800.0); 2])
+            .seed(3)
+            .build();
         let config = NetConfig::from_sim(sim).with_faults(FaultPlan::with_loss(1.0, 9));
         let out = NetRuntime::new(config).run(10);
         for &w in out.metrics.welfare.values() {
@@ -550,14 +543,10 @@ mod tests {
     #[test]
     fn partial_loss_reduces_welfare() {
         let build = |loss| {
-            let sim = rths_sim::SimConfig::builder(
-                8,
-                vec![BandwidthSpec::Constant(800.0); 2],
-            )
-            .seed(4)
-            .build();
-            let config =
-                NetConfig::from_sim(sim).with_faults(FaultPlan::with_loss(loss, 5));
+            let sim = rths_sim::SimConfig::builder(8, vec![BandwidthSpec::Constant(800.0); 2])
+                .seed(4)
+                .build();
+            let config = NetConfig::from_sim(sim).with_faults(FaultPlan::with_loss(loss, 5));
             NetRuntime::new(config).run(300)
         };
         let clean = build(0.0);
@@ -572,12 +561,9 @@ mod tests {
 
     #[test]
     fn helper_failure_message_takes_effect() {
-        let sim = rths_sim::SimConfig::builder(
-            6,
-            vec![BandwidthSpec::Constant(800.0); 2],
-        )
-        .seed(6)
-        .build();
+        let sim = rths_sim::SimConfig::builder(6, vec![BandwidthSpec::Constant(800.0); 2])
+            .seed(6)
+            .build();
         let mut rt = NetRuntime::new(NetConfig::from_sim(sim));
         for _ in 0..50 {
             rt.step_epoch();

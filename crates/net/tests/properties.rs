@@ -5,8 +5,7 @@ use rths_net::{FaultPlan, NetConfig, NetRuntime};
 use rths_sim::{BandwidthSpec, SimConfig};
 
 fn config(n: usize, h: usize, seed: u64, demand: Option<f64>) -> SimConfig {
-    let mut b =
-        SimConfig::builder(n, vec![BandwidthSpec::Paper { stay: 0.95 }; h]).seed(seed);
+    let mut b = SimConfig::builder(n, vec![BandwidthSpec::Paper { stay: 0.95 }; h]).seed(seed);
     if let Some(d) = demand {
         b = b.demand(d);
     }

@@ -88,9 +88,7 @@ mod tests {
 
     fn system(seed: u64) -> System {
         System::new(
-            SimConfig::builder(8, vec![BandwidthSpec::Constant(800.0); 2])
-                .seed(seed)
-                .build(),
+            SimConfig::builder(8, vec![BandwidthSpec::Constant(800.0); 2]).seed(seed).build(),
         )
     }
 
@@ -109,16 +107,13 @@ mod tests {
         assert_eq!(out.epochs, 300);
         // During the outage, helper 0 delivered nothing: welfare dips to
         // at most helper 1's capacity.
-        let during: Vec<f64> =
-            out.metrics.welfare.values()[120..200].to_vec();
+        let during: Vec<f64> = out.metrics.welfare.values()[120..200].to_vec();
         for w in during {
             assert!(w <= 800.0 + 1e-9, "welfare {w} during outage");
         }
         // After recovery, welfare can exceed a single helper again.
-        let after_max = out.metrics.welfare.values()[220..]
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let after_max =
+            out.metrics.welfare.values()[220..].iter().copied().fold(0.0f64, f64::max);
         assert!(after_max > 800.0, "no recovery: max welfare {after_max}");
     }
 

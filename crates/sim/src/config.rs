@@ -113,13 +113,7 @@ impl BandwidthSpec {
                 weights[0] = 1.0;
                 *weights.last_mut().expect("non-empty") = 1.0;
                 let total: f64 = weights.iter().sum();
-                Some(
-                    levels
-                        .iter()
-                        .zip(&weights)
-                        .map(|(l, w)| l * w / total)
-                        .sum(),
-                )
+                Some(levels.iter().zip(&weights).map(|(l, w)| l * w / total).sum())
             }
             BandwidthSpec::Constant(level) => Some(*level),
             BandwidthSpec::RandomWalk { min, max, .. } => Some(0.5 * (min + max)),
@@ -367,8 +361,7 @@ impl SimConfig {
         if self.helpers.is_empty() {
             return 0.0;
         }
-        let total: f64 =
-            self.helpers.iter().map(|h| h.mean_level().unwrap_or(800.0)).sum();
+        let total: f64 = self.helpers.iter().map(|h| h.mean_level().unwrap_or(800.0)).sum();
         total / self.helpers.len() as f64
     }
 
@@ -525,8 +518,7 @@ mod tests {
 
     #[test]
     fn builder_defaults() {
-        let c =
-            SimConfig::builder(10, vec![BandwidthSpec::Paper { stay: 0.98 }; 4]).build();
+        let c = SimConfig::builder(10, vec![BandwidthSpec::Paper { stay: 0.98 }; 4]).build();
         assert_eq!(c.num_peers, 10);
         assert_eq!(c.helpers.len(), 4);
         assert_eq!(c.demand, None);

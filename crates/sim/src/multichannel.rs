@@ -168,7 +168,11 @@ impl MultiChannelConfig {
 
     fn validate(&self) {
         assert!(!self.channels.is_empty(), "need at least one channel");
-        assert_eq!(self.helpers.len(), self.helper_channels.len(), "one channel set per helper");
+        assert_eq!(
+            self.helpers.len(),
+            self.helper_channels.len(),
+            "one channel set per helper"
+        );
         assert_eq!(self.viewers.len(), self.channels.len(), "one viewer count per channel");
         for (j, chans) in self.helper_channels.iter().enumerate() {
             assert!(!chans.is_empty(), "helper {j} serves no channels");
@@ -345,14 +349,10 @@ impl MultiChannelSystem {
         }
         // Rate scale for μ derivation: the system-wide fair share,
         // capped by the smallest channel bitrate.
-        let total_cap: f64 =
-            helpers.iter().map(|h| h.mean_capacity().unwrap_or(800.0)).sum();
+        let total_cap: f64 = helpers.iter().map(|h| h.mean_capacity().unwrap_or(800.0)).sum();
         let total_viewers: usize = config.viewers.iter().sum();
-        let min_bitrate = config
-            .channels
-            .iter()
-            .map(Channel::bitrate)
-            .fold(f64::INFINITY, f64::min);
+        let min_bitrate =
+            config.channels.iter().map(Channel::bitrate).fold(f64::INFINITY, f64::min);
         let rate_scale = (total_cap / total_viewers.max(1) as f64).min(min_bitrate);
         let mut peers = Vec::new();
         let mut next_id = 0u64;
@@ -499,8 +499,7 @@ impl MultiChannelSystem {
                 None => {
                     let served_loads: Vec<usize> =
                         served.iter().map(|&c| loads[j][c]).collect();
-                    let served_rates: Vec<f64> =
-                        served.iter().map(|&c| bitrates[c]).collect();
+                    let served_rates: Vec<f64> = served.iter().map(|&c| bitrates[c]).collect();
                     self.config.allocation.split(
                         self.helpers[j].capacity(),
                         &served_loads,
@@ -551,8 +550,7 @@ impl MultiChannelSystem {
                 alloc.record(delivered);
             }
         }
-        let total_demand: f64 =
-            self.peers.iter().map(|p| bitrates[p.channel()]).sum();
+        let total_demand: f64 = self.peers.iter().map(|p| bitrates[p.channel()]).sum();
         let helper_min: f64 = self.helpers.iter().map(Helper::min_capacity).sum();
         let helper_now: f64 = self.helpers.iter().map(Helper::capacity).sum();
         let epoch_result =
@@ -621,8 +619,7 @@ mod tests {
 
     #[test]
     fn water_filling_caps_at_demand() {
-        let split =
-            AllocationPolicy::WaterFilling.split(10_000.0, &[2, 1], &[400.0, 300.0]);
+        let split = AllocationPolicy::WaterFilling.split(10_000.0, &[2, 1], &[400.0, 300.0]);
         // Demands are 800 and 300; capacity is abundant so split == demand.
         assert!((split[0] - 800.0).abs() < 1e-9);
         assert!((split[1] - 300.0).abs() < 1e-9);
@@ -748,8 +745,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "has viewers but no helper")]
     fn uncovered_channel_rejected() {
-        let mut config =
-            MultiChannelConfig::standard(3, 400.0, 2, 1, 30, 1.0, AllocationPolicy::EvenSplit, 0);
+        let mut config = MultiChannelConfig::standard(
+            3,
+            400.0,
+            2,
+            1,
+            30,
+            1.0,
+            AllocationPolicy::EvenSplit,
+            0,
+        );
         // Helpers serve channels 0 and 1 only; channel 2 has viewers.
         config.helper_channels = vec![vec![0], vec![1]];
         let _ = MultiChannelSystem::new(config);

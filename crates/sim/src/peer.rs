@@ -41,7 +41,13 @@ pub struct Peer {
 
 impl Peer {
     /// Creates a peer joining at `joined_at` on `channel`.
-    pub fn new(id: PeerId, learner: AnyLearner, rng: StdRng, channel: usize, joined_at: u64) -> Self {
+    pub fn new(
+        id: PeerId,
+        learner: AnyLearner,
+        rng: StdRng,
+        channel: usize,
+        joined_at: u64,
+    ) -> Self {
         Self {
             id,
             learner,

@@ -156,8 +156,11 @@ mod tests {
         // 300 kbps against a 400 kbps stream: drains 0.25 s per epoch.
         let stats = b.replay(&vec![300.0; 400]);
         assert!(stats.stall_events > 5, "expected periodic stalls: {stats:?}");
-        assert!(stats.rebuffer_ratio > 0.15 && stats.rebuffer_ratio < 0.35,
-            "rebuffer ratio {:.3}", stats.rebuffer_ratio);
+        assert!(
+            stats.rebuffer_ratio > 0.15 && stats.rebuffer_ratio < 0.35,
+            "rebuffer ratio {:.3}",
+            stats.rebuffer_ratio
+        );
     }
 
     #[test]

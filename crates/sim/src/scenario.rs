@@ -56,8 +56,10 @@ impl Scenario {
 
     /// Same scenario with the regret-matching baseline, for the ablation.
     pub fn regime_shift_matching(shift_epoch: u64) -> SimConfigBuilder {
-        Self::regime_shift(shift_epoch)
-            .learner(LearnerSpec { algorithm: Algorithm::RegretMatching, ..LearnerSpec::default() })
+        Self::regime_shift(shift_epoch).learner(LearnerSpec {
+            algorithm: Algorithm::RegretMatching,
+            ..LearnerSpec::default()
+        })
     }
 
     /// Churn ablation: 100 peers with Poisson(2) arrivals and 2% per-epoch
@@ -96,11 +98,8 @@ mod tests {
     #[test]
     fn regime_shift_mixes_process_kinds() {
         let c = Scenario::regime_shift(500).build();
-        let shifts = c
-            .helpers
-            .iter()
-            .filter(|h| matches!(h, BandwidthSpec::RegimeShift { .. }))
-            .count();
+        let shifts =
+            c.helpers.iter().filter(|h| matches!(h, BandwidthSpec::RegimeShift { .. })).count();
         assert_eq!(shifts, 3);
         assert_eq!(c.helpers.len(), 6);
     }

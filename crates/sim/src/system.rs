@@ -86,7 +86,8 @@ impl System {
             next_peer_id += 1;
         }
         let metrics = SimMetrics::new(helpers.len());
-        let track_joint = config.churn.arrival_rate() == 0.0 && config.churn.departure_prob() == 0.0;
+        let track_joint =
+            config.churn.arrival_rate() == 0.0 && config.churn.departure_prob() == 0.0;
         let track_rates = track_joint && config.record_peer_rates;
         Self {
             joint: track_joint.then(JointDistribution::new),
@@ -148,8 +149,7 @@ impl System {
     /// Adds `Poisson(lambda)` extra peers immediately (flash-crowd /
     /// diurnal workload injection, on top of the configured churn).
     pub fn inject_arrivals(&mut self, lambda: f64) {
-        let extra =
-            rths_stoch::process::sample_poisson(&mut self.master_rng, lambda);
+        let extra = rths_stoch::process::sample_poisson(&mut self.master_rng, lambda);
         for _ in 0..extra {
             self.spawn_peer();
         }
@@ -187,8 +187,7 @@ impl System {
         let events = self.config.churn.sample_epoch(&mut self.master_rng, self.peers.len());
         if events.departures > 0 {
             for _ in 0..events.departures.min(self.peers.len() as u64) {
-                let idx =
-                    rand::Rng::gen_range(&mut self.master_rng, 0..self.peers.len());
+                let idx = rand::Rng::gen_range(&mut self.master_rng, 0..self.peers.len());
                 self.peers.swap_remove(idx);
             }
         }
@@ -243,8 +242,7 @@ impl System {
         }
 
         // 6. Server settles residual demand.
-        let total_demand =
-            self.config.demand.unwrap_or(0.0) * self.peers.len() as f64;
+        let total_demand = self.config.demand.unwrap_or(0.0) * self.peers.len() as f64;
         let helper_min: f64 = self.helpers.iter().map(Helper::min_capacity).sum();
         let helper_now: f64 = self.helpers.iter().map(Helper::capacity).sum();
         let server_epoch =
@@ -257,11 +255,9 @@ impl System {
         self.metrics.current_deficit.push(server_epoch.current_deficit);
         self.metrics.population.push(self.peers.len() as f64);
         self.metrics.jain.push(rths_math::stats::jain_index(&delivered));
-        let worst_est =
-            self.peers.iter().map(Peer::max_regret).fold(0.0f64, f64::max);
+        let worst_est = self.peers.iter().map(Peer::max_regret).fold(0.0f64, f64::max);
         self.metrics.worst_regret_estimate.push(worst_est);
-        let worst_emp =
-            self.peers.iter().map(Peer::empirical_regret).fold(0.0f64, f64::max);
+        let worst_emp = self.peers.iter().map(Peer::empirical_regret).fold(0.0f64, f64::max);
         self.metrics.worst_empirical_regret.push(worst_emp);
         let total_switches: u64 = self.peers.iter().map(Peer::switches).sum();
         // Per-epoch switches = difference of cumulative counts.
@@ -313,9 +309,7 @@ mod tests {
     use rths_stoch::process::ChurnProcess;
 
     fn small_config(seed: u64) -> SimConfig {
-        SimConfig::builder(10, vec![BandwidthSpec::Paper { stay: 0.98 }; 4])
-            .seed(seed)
-            .build()
+        SimConfig::builder(10, vec![BandwidthSpec::Paper { stay: 0.98 }; 4]).seed(seed).build()
     }
 
     #[test]
@@ -335,10 +329,7 @@ mod tests {
         let run = |seed| {
             let mut sys = System::new(small_config(seed));
             let out = sys.run(200);
-            (
-                out.metrics.welfare.values().to_vec(),
-                out.metrics.mean_helper_loads.clone(),
-            )
+            (out.metrics.welfare.values().to_vec(), out.metrics.mean_helper_loads.clone())
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7).0, run(8).0);
@@ -361,12 +352,7 @@ mod tests {
         let mut sys = System::new(small_config(3));
         let out = sys.run(50);
         for e in 0..50 {
-            let total: f64 = out
-                .metrics
-                .helper_loads
-                .iter()
-                .map(|s| s.values()[e])
-                .sum();
+            let total: f64 = out.metrics.helper_loads.iter().map(|s| s.values()[e]).sum();
             assert_eq!(total, out.metrics.population.values()[e]);
         }
     }
@@ -425,13 +411,8 @@ mod tests {
         let out = sys.run(1500);
         // In the last epochs, the dead helper should carry little load
         // beyond the exploration floor (12 peers × δ/m ≈ 0.4).
-        let last: Vec<f64> = out.metrics.helper_loads[0]
-            .values()
-            .iter()
-            .rev()
-            .take(200)
-            .copied()
-            .collect();
+        let last: Vec<f64> =
+            out.metrics.helper_loads[0].values().iter().rev().take(200).copied().collect();
         let mean_load_dead = rths_math::stats::mean(&last);
         assert!(
             mean_load_dead < 2.0,

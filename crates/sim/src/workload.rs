@@ -110,10 +110,7 @@ mod tests {
         let pops = out.metrics.population.values();
         let before = rths_math::stats::mean(&pops[50..100]);
         let during = rths_math::stats::mean(&pops[150..200]);
-        assert!(
-            during > before * 1.3,
-            "no surge visible: before {before}, during {during}"
-        );
+        assert!(during > before * 1.3, "no surge visible: before {before}, during {during}");
     }
 
     #[test]
@@ -139,8 +136,7 @@ mod tests {
             AllocationPolicy::WaterFilling,
             3,
         ));
-        let shifts =
-            [PopularityShift { epoch: 100, from: 0, to: 2, count: 10 }];
+        let shifts = [PopularityShift { epoch: 100, from: 0, to: 2, count: 10 }];
         let out = run_with_shifts(&mut sys, 300, &shifts);
         assert_eq!(out.epochs, 300);
         // System keeps serving after the shift.

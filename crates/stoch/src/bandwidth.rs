@@ -73,8 +73,11 @@ impl MarkovBandwidth {
     /// uniformly random state.
     pub fn paper_default<R: Rng + ?Sized>(rng: &mut R) -> Self {
         let initial = rng.gen_range(0..PAPER_LEVELS.len());
-        let chain =
-            MarkovChain::sticky_birth_death(PAPER_LEVELS.len(), PAPER_STAY_PROBABILITY, initial);
+        let chain = MarkovChain::sticky_birth_death(
+            PAPER_LEVELS.len(),
+            PAPER_STAY_PROBABILITY,
+            initial,
+        );
         Self::new(chain, PAPER_LEVELS.to_vec())
     }
 
@@ -235,7 +238,12 @@ impl GilbertElliott {
     ///
     /// Panics if levels are negative/non-finite or probabilities are
     /// outside `[0, 1]`.
-    pub fn new(good_level: f64, bad_level: f64, p_good_to_bad: f64, p_bad_to_good: f64) -> Self {
+    pub fn new(
+        good_level: f64,
+        bad_level: f64,
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+    ) -> Self {
         assert!(good_level.is_finite() && good_level >= 0.0, "good level invalid");
         assert!(bad_level.is_finite() && bad_level >= 0.0, "bad level invalid");
         assert!((0.0..=1.0).contains(&p_good_to_bad), "p_good_to_bad not a probability");

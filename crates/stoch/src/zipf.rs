@@ -99,7 +99,8 @@ impl Zipf {
     /// pmf, using largest-remainder rounding so the counts sum to `total`
     /// exactly.
     pub fn allocate(&self, total: usize) -> Vec<usize> {
-        let mut counts: Vec<usize> = self.pmf.iter().map(|p| (p * total as f64) as usize).collect();
+        let mut counts: Vec<usize> =
+            self.pmf.iter().map(|p| (p * total as f64) as usize).collect();
         let assigned: usize = counts.iter().sum();
         let mut remainders: Vec<(usize, f64)> = self
             .pmf

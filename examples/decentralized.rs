@@ -21,7 +21,8 @@ fn main() {
 
     let lossy_plan = FaultPlan::with_loss(0.2, 77).with_jitter(50);
     let lossy =
-        NetRuntime::new(NetConfig::from_sim(sim_config.clone()).with_faults(lossy_plan)).run(epochs);
+        NetRuntime::new(NetConfig::from_sim(sim_config.clone()).with_faults(lossy_plan))
+            .run(epochs);
     println!("20% loss+jitter welfare {}", sparkline(lossy.metrics.welfare.values(), 56));
 
     println!(

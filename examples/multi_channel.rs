@@ -9,14 +9,9 @@ use rths_suite::prelude::*;
 
 fn run(policy: AllocationPolicy) -> rths_sim::multichannel::MultiChannelOutcome {
     let config = MultiChannelConfig::standard(
-        /* channels */ 4,
-        /* bitrate  */ 400.0,
-        /* helpers  */ 8,
-        /* channels per helper */ 2,
-        /* viewers  */ 80,
-        /* zipf s   */ 1.5,
-        policy,
-        /* seed */ 5,
+        /* channels */ 4, /* bitrate  */ 400.0, /* helpers  */ 8,
+        /* channels per helper */ 2, /* viewers  */ 80, /* zipf s   */ 1.5,
+        policy, /* seed */ 5,
     );
     MultiChannelSystem::new(config).run(2500)
 }

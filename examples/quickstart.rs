@@ -30,7 +30,11 @@ fn main() {
     let welfare = &outcome.metrics.welfare;
     println!("RTHS on the paper's N=10, H=4 scenario (5000 epochs)\n");
     println!("worst-peer regret  {}", sparkline(regret.values(), 60));
-    println!("                   start {:8.1} -> end {:8.1} kbps", regret.values()[10], regret.tail_mean(200));
+    println!(
+        "                   start {:8.1} -> end {:8.1} kbps",
+        regret.values()[10],
+        regret.tail_mean(200)
+    );
     println!("social welfare     {}", sparkline(welfare.values(), 60));
     println!(
         "                   converged {:6.0} kbps vs MDP optimum {:6.0} kbps ({:.1}%)",

@@ -18,12 +18,7 @@ const TOTAL_EPOCHS: u64 = 6000;
 fn degraded_load_series(out: &rths_sim::Outcome) -> Vec<f64> {
     let n = out.metrics.epochs();
     (0..n)
-        .map(|e| {
-            [0usize, 2, 4]
-                .iter()
-                .map(|&j| out.metrics.helper_loads[j].values()[e])
-                .sum()
-        })
+        .map(|e| [0usize, 2, 4].iter().map(|&j| out.metrics.helper_loads[j].values()[e]).sum())
         .collect()
 }
 

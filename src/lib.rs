@@ -42,8 +42,7 @@ pub fn sparkline(values: &[f64], width: usize) -> String {
     while (idx as usize) < values.len() && out.chars().count() < width {
         let lo = idx as usize;
         let hi = ((idx + stride) as usize).min(values.len()).max(lo + 1);
-        let mean: f64 =
-            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        let mean: f64 = values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
         let level = (((mean - min) / span) * 7.0).round() as usize;
         out.push(BARS[level.min(7)]);
         idx += stride;

@@ -16,8 +16,8 @@ fn learners(n: usize, h: usize, mu: f64) -> Vec<RthsLearner> {
 #[test]
 fn learned_play_is_approximate_ce() {
     let caps = vec![800.0, 800.0, 600.0];
-    let mut driver =
-        RepeatedGameDriver::new(learners(9, 3, 4.0 * 245.0), caps.clone()).record_joint_from(2000);
+    let mut driver = RepeatedGameDriver::new(learners(9, 3, 4.0 * 245.0), caps.clone())
+        .record_joint_from(2000);
     let mut rng = seeded_rng(11);
     let result = driver.run(8000, &mut rng);
     let report = result.ce_report(caps);
@@ -93,10 +93,7 @@ fn loads_track_capacity_ratio() {
     let result = driver.run(12_000, &mut rng);
     let big = result.mean_loads[0];
     let small = result.mean_loads[1];
-    assert!(
-        big > small + 1.2,
-        "no lean toward the big helper: mean loads {big:.2}/{small:.2}"
-    );
+    assert!(big > small + 1.2, "no lean toward the big helper: mean loads {big:.2}/{small:.2}");
     assert!(big > 4.5, "big helper load {big:.2} too low (NE is 6)");
     assert!(small < 3.5, "small helper load {small:.2} too high (NE is 2)");
 }
@@ -113,11 +110,8 @@ fn welfare_identity_via_joint_distribution() {
     for (profile, _) in result.joint.iter() {
         let w = game.social_welfare(profile);
         let loads = game.loads(profile);
-        let expected: f64 = loads
-            .iter()
-            .zip(&caps)
-            .map(|(&n, &c)| if n > 0 { c } else { 0.0 })
-            .sum();
+        let expected: f64 =
+            loads.iter().zip(&caps).map(|(&n, &c)| if n > 0 { c } else { 0.0 }).sum();
         assert!((w - expected).abs() < 1e-9);
     }
     // CE residual machinery agrees between weighted and raw computation.

@@ -26,11 +26,7 @@ fn golden_small_run_welfare_prefix() {
     }
     // Pin the exact coverage pattern for seed 1.
     let covered: Vec<bool> = welfare.iter().map(|&w| w > 1000.0).collect();
-    assert_eq!(
-        covered,
-        vec![true; 8],
-        "coverage pattern drifted: {covered:?}"
-    );
+    assert_eq!(covered, vec![true; 8], "coverage pattern drifted: {covered:?}");
 }
 
 #[test]
@@ -41,7 +37,9 @@ fn golden_paper_small_signature() {
     // fingerprints the entire coupled trajectory (helpers' chains, peer
     // choices, rate arithmetic).
     let signature: f64 = out.metrics.welfare.values().iter().sum();
-    let expected = 144_100.0;
+    // Pinned against the vendored xoshiro256++ `StdRng` (see vendor/rand);
+    // re-pin if the RNG stream layout ever changes intentionally.
+    let expected = 154_200.0;
     assert!(
         (signature - expected).abs() < 1e-6,
         "trajectory fingerprint drifted: {signature:.9} vs {expected:.9}"

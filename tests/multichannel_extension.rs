@@ -7,9 +7,7 @@ use rths_sim::{AllocationPolicy, MultiChannelConfig, MultiChannelSystem};
 /// against 12 helpers × ~800 kbps ≈ 9600 kbps supply, so full continuity
 /// is achievable and continuity assertions are meaningful.
 fn standard(alloc: AllocationPolicy, seed: u64) -> MultiChannelSystem {
-    MultiChannelSystem::new(MultiChannelConfig::standard(
-        4, 300.0, 12, 2, 24, 1.0, alloc, seed,
-    ))
+    MultiChannelSystem::new(MultiChannelConfig::standard(4, 300.0, 12, 2, 24, 1.0, alloc, seed))
 }
 
 /// Allocation-policy ordering: water-filling ≥ load-proportional ≥
@@ -63,8 +61,7 @@ fn popularity_shift_is_tracked() {
     assert_eq!(out.epochs, 3600);
     // mean_channel_rates are cumulative time averages; recover the
     // post-shift average from the two snapshots.
-    let post_ch3 =
-        (out.mean_channel_rates[3] * 3600.0 - pre_ch3 * 1200.0) / 2400.0;
+    let post_ch3 = (out.mean_channel_rates[3] * 3600.0 - pre_ch3 * 1200.0) / 2400.0;
     // The audience of channel 3 grew from 2 to 11 viewers; its delivered
     // aggregate rate must follow (allocation + helper selection adapt).
     assert!(
@@ -92,8 +89,5 @@ fn unpopular_channels_not_starved() {
     }
     // The most popular channel receives the largest aggregate rate.
     let r = &out.mean_channel_rates;
-    assert!(
-        r[0] >= r[3],
-        "popular channel outdelivered by tail channel: {r:?}"
-    );
+    assert!(r[0] >= r[3], "popular channel outdelivered by tail channel: {r:?}");
 }

@@ -27,12 +27,8 @@ fn assert_equivalent(sim_config: SimConfig, epochs: u64) {
         net_out.metrics.server_load.values(),
         "server load series diverged"
     );
-    for (j, (a, b)) in sim_out
-        .metrics
-        .helper_loads
-        .iter()
-        .zip(&net_out.metrics.helper_loads)
-        .enumerate()
+    for (j, (a, b)) in
+        sim_out.metrics.helper_loads.iter().zip(&net_out.metrics.helper_loads).enumerate()
     {
         assert_eq!(a.values(), b.values(), "helper {j} load series diverged");
     }

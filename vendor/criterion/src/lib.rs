@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a simple wall-clock timer: each benchmark gets a short
+//! warm-up, then timed batches, and the mean time per iteration is printed.
+//! No statistics engine, plots, or saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declared throughput of one benchmark iteration; printed alongside timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Times closures. Handed to the benchmark body by `bench_function`.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by `iter`.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up, then time enough batches to pass the measurement floor.
+        const WARMUP: Duration = Duration::from_millis(20);
+        const MEASURE: Duration = Duration::from_millis(100);
+        let warm_start = Instant::now();
+        let mut iters_per_batch: u64 = 0;
+        while warm_start.elapsed() < WARMUP || iters_per_batch == 0 {
+            black_box(f());
+            iters_per_batch += 1;
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < MEASURE {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += iters_per_batch;
+        }
+        self.elapsed_per_iter = total / iters.max(1) as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        // The stub sizes batches by wall clock, so the hint is accepted and
+        // ignored.
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { elapsed_per_iter: Duration::ZERO };
+        f(&mut bencher);
+        self.report(&id.label, bencher.elapsed_per_iter);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { elapsed_per_iter: Duration::ZERO };
+        f(&mut bencher, input);
+        self.report(&id.label, bencher.elapsed_per_iter);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, per_iter: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{label}: {per_iter:?}/iter{rate}", self.name);
+    }
+}
+
+/// Entry point handed to each `criterion_group!` target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses unbounded MPSC channels (`crossbeam::channel`),
+//! which `std::sync::mpsc` provides with a compatible API for the calls made
+//! here (`send`, `recv`, `try_recv`, cloneable senders). This crate simply
+//! re-exports the std types under crossbeam's names.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Creates an unbounded channel, crossbeam-style.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let handle = std::thread::spawn(move || {
+            tx2.send(41).unwrap();
+            tx.send(1).unwrap();
+        });
+        handle.join().unwrap();
+        assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+    }
+}

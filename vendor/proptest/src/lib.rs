@@ -1,0 +1,134 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `name in strategy` argument bindings;
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric ranges
+//!   and tuples;
+//! * `prop::collection::vec`, `prop::option::of`, and `any::<T>()`;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds. Inputs are drawn from an RNG seeded deterministically from the
+//! test's module path and case index, so every run (locally and in CI)
+//! exercises the same cases — failures are reproducible by construction.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of proptest's `prelude::prop` re-export module, so tests can
+    /// write `prop::collection::vec(..)` after a glob import.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests. Each `name in strategy` argument is drawn freshly
+/// for every case; the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($args:tt)* ) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_fn! {
+                @parse [($cfg) $(#[$meta])* fn $name $body] [] $($args)*
+            }
+        )*
+    };
+}
+
+/// Tt-muncher that splits `pattern in strategy, ...` argument lists into
+/// `((pattern) (strategy))` pairs, then emits the test fn. `pat` covers both
+/// plain names, `mut` names, and tuple destructuring; `in` is in `pat`'s
+/// follow set precisely because of `for pat in` syntax.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fn {
+    (@parse $ctx:tt [$($acc:tt)*] $arg:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_fn! { @parse $ctx [$($acc)* (($arg) ($strat))] $($rest)* }
+    };
+    (@parse $ctx:tt [$($acc:tt)*] $arg:pat in $strat:expr) => {
+        $crate::__proptest_fn! { @emit $ctx [$($acc)* (($arg) ($strat))] }
+    };
+    (@parse $ctx:tt $acc:tt) => {
+        $crate::__proptest_fn! { @emit $ctx $acc }
+    };
+    (@emit
+        [($cfg:expr) $(#[$meta:meta])* fn $name:ident $body:block]
+        [$((($arg:pat) $strat:tt))+]
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __pt_case in 0..__pt_cfg.cases {
+                let mut __pt_rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __pt_case as u64,
+                );
+                #[allow(unused_mut)]
+                let ($($arg,)+) = ($(
+                    $crate::strategy::Strategy::generate(&$strat, &mut __pt_rng),
+                )+);
+                $body
+            }
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to an unlabeled `continue` targeting the per-case loop, so it is
+/// only valid at the top level of a `proptest!` body (which is how the
+/// workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Asserts a property holds; panics (failing the enclosing case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}

@@ -1,0 +1,27 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Match real proptest's default ratio: Some three times out of four.
+        if rng.gen::<f64>() < 0.25 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Strategy yielding `None` sometimes and `Some(inner)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,40 @@
+//! Per-test configuration and the deterministic case RNG.
+
+use crate::strategy::TestRng;
+use rand::SeedableRng;
+
+/// Subset of proptest's config: just the case count.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than real proptest's 256: there is no shrinker here, and
+        // CI runs every case on every push.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// RNG for one test case, seeded from the test's path and case index so runs
+/// are identical everywhere.
+pub fn rng_for(test_path: &str, case: u64) -> TestRng {
+    // FNV-1a over the path, then avalanche in the case index (SplitMix64
+    // finalizer) so consecutive cases get unrelated streams.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    TestRng::seed_from_u64(z ^ (z >> 31))
+}
