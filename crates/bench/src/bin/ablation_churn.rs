@@ -50,28 +50,28 @@ fn main() {
         "{:>6} {:>12} | {:>9} {:>9} {:>10} {:>7}",
         "churn", "conditional", "healthy", "outage", "recovered", "jain"
     );
+    let combos = [(false, false), (false, true), (true, false), (true, true)];
+    let results =
+        rths_par::par_map(&combos, |_, &(churn, conditional)| run(churn, conditional));
     let mut rows = Vec::new();
-    for churn in [false, true] {
-        for conditional in [false, true] {
-            let r = run(churn, conditional);
-            println!(
-                "{:>6} {:>12} | {:>8.1}% {:>8.1}% {:>9.1}% {:>7.3}",
-                r.churn,
-                r.conditional,
-                100.0 * r.healthy,
-                100.0 * r.outage,
-                100.0 * r.recovered,
-                r.jain
-            );
-            rows.push(vec![
-                r.churn as u8 as f64,
-                r.conditional as u8 as f64,
-                r.healthy,
-                r.outage,
-                r.recovered,
-                r.jain,
-            ]);
-        }
+    for r in results {
+        println!(
+            "{:>6} {:>12} | {:>8.1}% {:>8.1}% {:>9.1}% {:>7.3}",
+            r.churn,
+            r.conditional,
+            100.0 * r.healthy,
+            100.0 * r.outage,
+            100.0 * r.recovered,
+            r.jain
+        );
+        rows.push(vec![
+            r.churn as u8 as f64,
+            r.conditional as u8 as f64,
+            r.healthy,
+            r.outage,
+            r.recovered,
+            r.jain,
+        ]);
     }
     let path = write_csv(
         "ablation_churn",

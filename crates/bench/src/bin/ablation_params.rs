@@ -28,23 +28,28 @@ fn main() {
     );
     let mut rows = Vec::new();
 
+    // One (ε, δ, μ) point per worker; results come back in sweep order.
     let defaults = (0.01f64, 0.1f64);
-    for eps in [0.002, 0.005, 0.01, 0.05, 0.2] {
-        let (r, w, s) = run(eps, defaults.1, None);
-        println!("{eps:>8} {:>8} {:>8} | {r:>12.2} {w:>12.0} {s:>14.3}", defaults.1, "auto");
-        rows.push(vec![eps, defaults.1, 0.0, r, w, s]);
-    }
-    println!();
-    for delta in [0.02, 0.05, 0.1, 0.2, 0.4] {
-        let (r, w, s) = run(defaults.0, delta, None);
-        println!("{:>8} {delta:>8} {:>8} | {r:>12.2} {w:>12.0} {s:>14.3}", defaults.0, "auto");
-        rows.push(vec![defaults.0, delta, 0.0, r, w, s]);
-    }
-    println!();
-    for mu in [80.0, 160.0, 320.0, 1280.0, 5120.0] {
-        let (r, w, s) = run(defaults.0, defaults.1, Some(mu));
-        println!("{:>8} {:>8} {mu:>8} | {r:>12.2} {w:>12.0} {s:>14.3}", defaults.0, defaults.1);
-        rows.push(vec![defaults.0, defaults.1, mu, r, w, s]);
+    let eps_values = [0.002, 0.005, 0.01, 0.05, 0.2];
+    let delta_values = [0.02, 0.05, 0.1, 0.2, 0.4];
+    let mu_values = [80.0, 160.0, 320.0, 1280.0, 5120.0];
+    let mut sweep: Vec<(f64, f64, Option<f64>)> = Vec::new();
+    sweep.extend(eps_values.iter().map(|&eps| (eps, defaults.1, None)));
+    sweep.extend(delta_values.iter().map(|&delta| (defaults.0, delta, None)));
+    sweep.extend(mu_values.iter().map(|&mu| (defaults.0, defaults.1, Some(mu))));
+    let results = rths_par::par_map(&sweep, |_, &(eps, delta, mu)| run(eps, delta, mu));
+
+    for (i, (&(eps, delta, mu), &(r, w, s))) in sweep.iter().zip(&results).enumerate() {
+        if i == eps_values.len() || i == eps_values.len() + delta_values.len() {
+            println!();
+        }
+        match mu {
+            None => {
+                println!("{eps:>8} {delta:>8} {:>8} | {r:>12.2} {w:>12.0} {s:>14.3}", "auto")
+            }
+            Some(mu) => println!("{eps:>8} {delta:>8} {mu:>8} | {r:>12.2} {w:>12.0} {s:>14.3}"),
+        }
+        rows.push(vec![eps, delta, mu.unwrap_or(0.0), r, w, s]);
     }
 
     let path = write_csv(

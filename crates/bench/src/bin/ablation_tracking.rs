@@ -24,9 +24,10 @@ fn main() {
             .build();
         System::new(config).run(epochs)
     };
-    let tracking = run(Algorithm::Rths);
-    let matching = run(Algorithm::RegretMatching);
-    let exp3 = run(Algorithm::Exp3);
+    let algorithms = [Algorithm::Rths, Algorithm::RegretMatching, Algorithm::Exp3];
+    let mut outs = rths_par::par_map(&algorithms, |_, &alg| run(alg)).into_iter();
+    let (tracking, matching, exp3) =
+        (outs.next().unwrap(), outs.next().unwrap(), outs.next().unwrap());
     let t = degraded_series(&tracking);
     let m = degraded_series(&matching);
     let x = degraded_series(&exp3);

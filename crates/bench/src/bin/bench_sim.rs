@@ -1,0 +1,221 @@
+//! Simulator throughput baseline: emits `BENCH_sim.json`.
+//!
+//! Runs a peers×helpers×epochs grid through both engines, once per thread
+//! count, and records wall-clock epochs/sec plus a welfare checksum per
+//! run. The checksum proves the parallel runtime's headline property: the
+//! series is **bit-for-bit identical at every thread count** (the JSON
+//! carries `identical_output` per scenario). The sequential run
+//! (`threads = 1`) is the baseline every later perf PR is measured
+//! against.
+//!
+//! Run with: `cargo run --release -p rths_bench --bin bench_sim`
+//!
+//! * `RTHS_THREADS=T` benches `[1, T]` instead of the default `[1, 2, 4]`
+//!   (`RTHS_THREADS=1` benches the sequential baseline only).
+//! * `RTHS_BENCH_QUICK=1` shrinks the grid for CI smoke jobs.
+//! * Output lands in `results/BENCH_sim.json` (see `RTHS_RESULTS_DIR`).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+use rths_bench::results_dir;
+use rths_sim::{
+    AllocationPolicy, BandwidthSpec, MultiChannelConfig, MultiChannelSystem, SimConfig, System,
+};
+
+/// One grid point.
+struct Scenario {
+    engine: &'static str,
+    peers: usize,
+    helpers: usize,
+    channels: usize,
+    epochs: u64,
+}
+
+/// One timed run of a scenario.
+struct Run {
+    threads: usize,
+    secs: f64,
+    epochs_per_sec: f64,
+    welfare_checksum: f64,
+}
+
+fn grid(quick: bool) -> Vec<Scenario> {
+    let scale = if quick { 4 } else { 1 };
+    vec![
+        Scenario {
+            engine: "single_channel",
+            peers: 200,
+            helpers: 20,
+            channels: 1,
+            epochs: 600 / scale,
+        },
+        Scenario {
+            engine: "single_channel",
+            peers: 1000,
+            helpers: 32,
+            channels: 1,
+            epochs: 200 / scale,
+        },
+        Scenario {
+            engine: "single_channel",
+            peers: 4000,
+            helpers: 64,
+            channels: 1,
+            epochs: 80 / scale,
+        },
+        Scenario {
+            engine: "multi_channel",
+            peers: 2000,
+            helpers: 48,
+            channels: 16,
+            epochs: 80 / scale,
+        },
+    ]
+}
+
+/// Runs one scenario at the current `RTHS_THREADS` setting and returns
+/// `(secs, welfare_checksum)`. A fresh system per run keeps every
+/// measurement cold-start comparable and every output seed-pinned.
+fn run_once(s: &Scenario) -> (f64, f64) {
+    match s.engine {
+        "single_channel" => {
+            let config = SimConfig::builder(
+                s.peers,
+                vec![BandwidthSpec::Paper { stay: 0.98 }; s.helpers],
+            )
+            .seed(7)
+            .build();
+            let mut system = System::new(config);
+            let start = Instant::now();
+            let out = system.run(s.epochs);
+            let secs = start.elapsed().as_secs_f64();
+            (secs, out.metrics.welfare.values().iter().sum())
+        }
+        "multi_channel" => {
+            let config = MultiChannelConfig::standard(
+                s.channels,
+                400.0,
+                s.helpers,
+                4,
+                s.peers,
+                1.2,
+                AllocationPolicy::WaterFilling,
+                7,
+            );
+            let mut system = MultiChannelSystem::new(config);
+            let start = Instant::now();
+            let out = system.run(s.epochs);
+            let secs = start.elapsed().as_secs_f64();
+            (secs, out.welfare.values().iter().sum())
+        }
+        other => unreachable!("unknown engine {other}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("RTHS_BENCH_QUICK").is_ok_and(|v| v != "0");
+    // Unset → default grid; an explicit RTHS_THREADS=1 means "sequential
+    // baseline only" (rths_par::threads() cannot tell the two apart).
+    let requested = std::env::var("RTHS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let thread_counts: Vec<usize> = match requested {
+        None => vec![1, 2, 4],
+        Some(1) => vec![1],
+        Some(t) => vec![1, t],
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "BENCH_sim — engine throughput grid ({} scenarios, threads {:?}, {} host cores{})",
+        grid(quick).len(),
+        thread_counts,
+        host_cores,
+        if quick { ", quick mode" } else { "" }
+    );
+    println!(
+        "\n{:<15} {:>6} {:>8} {:>9} {:>8} | {:>8} {:>13} {:>10}",
+        "engine", "peers", "helpers", "channels", "epochs", "threads", "epochs/sec", "speedup"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"sim_scale_grid\",");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"scenarios\": [");
+
+    let scenarios = grid(quick);
+    for (si, s) in scenarios.iter().enumerate() {
+        let mut runs: Vec<Run> = Vec::with_capacity(thread_counts.len());
+        for &t in &thread_counts {
+            // The pool re-reads RTHS_THREADS on every parallel call, so
+            // flipping it between runs is all it takes.
+            std::env::set_var("RTHS_THREADS", t.to_string());
+            let (secs, welfare_checksum) = run_once(s);
+            runs.push(Run {
+                threads: t,
+                secs,
+                epochs_per_sec: s.epochs as f64 / secs.max(1e-12),
+                welfare_checksum,
+            });
+        }
+        std::env::remove_var("RTHS_THREADS");
+
+        let baseline = runs[0].epochs_per_sec;
+        let identical = runs
+            .iter()
+            .all(|r| r.welfare_checksum.to_bits() == runs[0].welfare_checksum.to_bits());
+        let best_speedup =
+            runs.iter().map(|r| r.epochs_per_sec / baseline).fold(0.0f64, f64::max);
+        for (ri, r) in runs.iter().enumerate() {
+            if ri == 0 {
+                print!(
+                    "{:<15} {:>6} {:>8} {:>9} {:>8} |",
+                    s.engine, s.peers, s.helpers, s.channels, s.epochs
+                );
+            } else {
+                print!("{:<15} {:>6} {:>8} {:>9} {:>8} |", "", "", "", "", "");
+            }
+            println!(
+                " {:>8} {:>13.1} {:>9.2}x",
+                r.threads,
+                r.epochs_per_sec,
+                r.epochs_per_sec / baseline
+            );
+        }
+        assert!(identical, "parallel output diverged from sequential in {}", s.engine);
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"engine\": \"{}\",", s.engine);
+        let _ = writeln!(json, "      \"peers\": {},", s.peers);
+        let _ = writeln!(json, "      \"helpers\": {},", s.helpers);
+        let _ = writeln!(json, "      \"channels\": {},", s.channels);
+        let _ = writeln!(json, "      \"epochs\": {},", s.epochs);
+        let _ = writeln!(json, "      \"identical_output\": {identical},");
+        let _ = writeln!(json, "      \"speedup_best\": {best_speedup:.4},");
+        let _ = writeln!(json, "      \"runs\": [");
+        for (ri, r) in runs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"threads\": {}, \"secs\": {:.6}, \"epochs_per_sec\": {:.3}, \
+                 \"welfare_checksum\": {:.6}}}{}",
+                r.threads,
+                r.secs,
+                r.epochs_per_sec,
+                r.welfare_checksum,
+                if ri + 1 < runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "    }}{}", if si + 1 < scenarios.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = results_dir().join("BENCH_sim.json");
+    let mut file = std::fs::File::create(&path).expect("can create BENCH_sim.json");
+    file.write_all(json.as_bytes()).expect("can write BENCH_sim.json");
+    println!("\nall outputs identical across thread counts; json: {}", path.display());
+}

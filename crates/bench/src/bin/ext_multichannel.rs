@@ -14,19 +14,20 @@ fn main() {
         "allocation policy", "delivered", "server", "fairness", "regret"
     );
     println!("(learned = the future-work two-sided variant; a documented negative result)");
-    let mut rows = Vec::new();
-    for (idx, (name, policy)) in [
+    let policies = [
         ("even split", AllocationPolicy::EvenSplit),
         ("load proportional", AllocationPolicy::LoadProportional),
         ("water filling", AllocationPolicy::WaterFilling),
         ("learned (RTHS helpers)", AllocationPolicy::Learned),
-    ]
-    .into_iter()
-    .enumerate()
-    {
+    ];
+    // One allocation policy per worker.
+    let outs = rths_par::par_map(&policies, |_, &(_, policy)| {
         let config = MultiChannelConfig::standard(4, 400.0, 12, 2, 240, 1.5, policy, 13);
         let mut system = MultiChannelSystem::new(config);
-        let out = system.run(2500);
+        system.run(2500)
+    });
+    let mut rows = Vec::new();
+    for (idx, ((name, _), out)) in policies.iter().zip(&outs).enumerate() {
         let delivered = out.welfare.tail_mean(400);
         let server = out.server_load.tail_mean(400);
         let regret = out.worst_empirical_regret.tail_mean(400);

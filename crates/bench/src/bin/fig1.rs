@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release -p rths-bench --bin fig1`
 
-use rths_bench::{mean_series, print_series, sample_points, write_csv, SEEDS};
+use rths_bench::{mean_series, per_seed, print_series, sample_points, write_csv, SEEDS};
 use rths_sim::{Scenario, System};
 
 fn main() {
@@ -19,18 +19,21 @@ fn main() {
         seeds.len()
     );
 
-    let mut empirical = Vec::new();
-    let mut estimates = Vec::new();
-    for &seed in seeds {
+    let runs = per_seed(seeds, |seed| {
         let mut system = System::new(Scenario::paper_large().seed(seed).build());
         let out = system.run(epochs);
-        empirical.push(out.metrics.worst_empirical_regret.values().to_vec());
-        estimates.push(out.metrics.worst_regret_estimate.values().to_vec());
-        println!(
-            "  seed {seed:>4}: start {:8.2} kbps -> end {:6.2} kbps",
-            out.metrics.worst_empirical_regret.values()[10],
-            out.metrics.worst_empirical_regret.tail_mean(200)
-        );
+        (
+            out.metrics.worst_empirical_regret.values().to_vec(),
+            out.metrics.worst_regret_estimate.values().to_vec(),
+            out.metrics.worst_empirical_regret.tail_mean(200),
+        )
+    });
+    let mut empirical = Vec::new();
+    let mut estimates = Vec::new();
+    for (&seed, (emp, est, tail)) in seeds.iter().zip(runs) {
+        println!("  seed {seed:>4}: start {:8.2} kbps -> end {tail:6.2} kbps", emp[10]);
+        empirical.push(emp);
+        estimates.push(est);
     }
     let mean_emp = mean_series(&empirical);
     let mean_est = mean_series(&estimates);

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p rths-bench --bin fig2`
 
 use rand::SeedableRng;
-use rths_bench::{mean_series, print_series, sample_points, write_csv, SEEDS};
+use rths_bench::{mean_series, per_seed, print_series, sample_points, write_csv, SEEDS};
 use rths_mdp::MdpBenchmark;
 use rths_sim::{Scenario, System};
 
@@ -28,12 +28,10 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let optimum = bench.optimal_welfare(&mut rng);
 
-    let mut runs = Vec::new();
-    for &seed in seeds {
+    let runs = per_seed(seeds, |seed| {
         let mut system = System::new(Scenario::paper_small().seed(seed).build());
-        let out = system.run(epochs);
-        runs.push(out.metrics.welfare.values().to_vec());
-    }
+        system.run(epochs).metrics.welfare.values().to_vec()
+    });
     let welfare = mean_series(&runs);
     // 100-epoch moving average for the plot (the paper plots smoothed
     // utility curves).

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p rths-bench --bin fig3`
 
-use rths_bench::{write_csv, SEEDS};
+use rths_bench::{per_seed, write_csv, SEEDS};
 use rths_sim::{Scenario, System};
 
 fn main() {
@@ -15,15 +15,18 @@ fn main() {
     println!("Figure 3 — load distribution on helpers, N=10, H=4, {} seeds", seeds.len());
 
     let h = 4usize;
-    let mut per_helper: Vec<Vec<f64>> = vec![Vec::new(); h];
-    let mut cvs = Vec::new();
-    for &seed in seeds {
+    let runs = per_seed(seeds, |seed| {
         let mut system = System::new(Scenario::paper_small().seed(seed).build());
         let out = system.run(epochs);
-        for (j, &load) in out.metrics.mean_helper_loads.iter().enumerate() {
+        (out.metrics.mean_helper_loads.clone(), out.metrics.load_balance_cv())
+    });
+    let mut per_helper: Vec<Vec<f64>> = vec![Vec::new(); h];
+    let mut cvs = Vec::new();
+    for (loads, cv) in runs {
+        for (j, &load) in loads.iter().enumerate() {
             per_helper[j].push(load);
         }
-        cvs.push(out.metrics.load_balance_cv());
+        cvs.push(cv);
     }
 
     println!("\n{:>8} {:>12} {:>8} (target: N/H = 2.5 each)", "helper", "mean load", "std");

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p rths-bench --bin fig4`
 
-use rths_bench::{write_csv, SEEDS};
+use rths_bench::{per_seed, write_csv, SEEDS};
 use rths_sim::{Scenario, System};
 
 fn main() {
@@ -15,15 +15,18 @@ fn main() {
     println!("Figure 4 — per-peer bandwidth shares, N=10, H=4, {} seeds", seeds.len());
 
     let n = 10usize;
-    let mut per_peer: Vec<Vec<f64>> = vec![Vec::new(); n];
-    let mut jains = Vec::new();
-    for &seed in seeds {
+    let runs = per_seed(seeds, |seed| {
         let mut system = System::new(Scenario::paper_small().seed(seed).build());
         let out = system.run(epochs);
-        for (i, &rate) in out.metrics.mean_peer_rates.iter().enumerate() {
+        (out.metrics.mean_peer_rates.clone(), out.metrics.long_run_fairness())
+    });
+    let mut per_peer: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut jains = Vec::new();
+    for (rates, jain) in runs {
+        for (i, &rate) in rates.iter().enumerate() {
             per_peer[i].push(rate);
         }
-        jains.push(out.metrics.long_run_fairness());
+        jains.push(jain);
     }
 
     println!("\n{:>6} {:>12} {:>8} (fair share: 320 kbps)", "peer", "mean rate", "std");

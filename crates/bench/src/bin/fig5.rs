@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release -p rths-bench --bin fig5`
 
-use rths_bench::{mean_series, print_series, sample_points, write_csv, SEEDS};
+use rths_bench::{mean_series, per_seed, print_series, sample_points, write_csv, SEEDS};
 use rths_sim::{Scenario, System};
 
 fn main() {
@@ -17,15 +17,22 @@ fn main() {
     let seeds = &SEEDS[..5];
     println!("Figure 5 — server workload vs minimum bandwidth deficit, {} seeds", seeds.len());
 
+    let runs = per_seed(seeds, |seed| {
+        let mut system = System::new(Scenario::paper_server_load().seed(seed).build());
+        let out = system.run(epochs);
+        (
+            out.metrics.server_load.values().to_vec(),
+            out.metrics.min_deficit.values().to_vec(),
+            out.metrics.current_deficit.values().to_vec(),
+        )
+    });
     let mut loads = Vec::new();
     let mut min_deficits = Vec::new();
     let mut cur_deficits = Vec::new();
-    for &seed in seeds {
-        let mut system = System::new(Scenario::paper_server_load().seed(seed).build());
-        let out = system.run(epochs);
-        loads.push(out.metrics.server_load.values().to_vec());
-        min_deficits.push(out.metrics.min_deficit.values().to_vec());
-        cur_deficits.push(out.metrics.current_deficit.values().to_vec());
+    for (load, min_d, cur_d) in runs {
+        loads.push(load);
+        min_deficits.push(min_d);
+        cur_deficits.push(cur_d);
     }
     let load = mean_series(&loads);
     let min_deficit = mean_series(&min_deficits);

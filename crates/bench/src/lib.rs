@@ -7,11 +7,24 @@
 //! records the measured numbers against the paper's claims.
 
 use std::fs;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 
 /// Seeds used when a figure averages across repetitions.
 pub const SEEDS: [u64; 10] = [11, 23, 37, 41, 53, 67, 79, 83, 97, 101];
+
+/// Runs `f` once per seed — one seed per worker when `RTHS_THREADS` > 1 —
+/// and returns the results in seed order, so downstream averaging is
+/// identical at any thread count. The figure/ablation binaries route
+/// their repetition loops through this; see `rths_par` for the threading
+/// model.
+pub fn per_seed<R, F>(seeds: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    rths_par::par_map(seeds, |_, &seed| f(seed))
+}
 
 /// Directory where CSV outputs land (override with `RTHS_RESULTS_DIR`).
 pub fn results_dir() -> PathBuf {
@@ -29,13 +42,16 @@ pub fn results_dir() -> PathBuf {
 /// length does not match the header count.
 pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<f64>]) -> PathBuf {
     let path = results_dir().join(format!("{name}.csv"));
-    let mut file = fs::File::create(&path).expect("can create CSV file");
+    // Buffered: an unbuffered File issues one write syscall per row, which
+    // dominates the harness runtime for long per-epoch series.
+    let mut file = BufWriter::new(fs::File::create(&path).expect("can create CSV file"));
     writeln!(file, "{}", headers.join(",")).expect("can write header");
     for row in rows {
         assert_eq!(row.len(), headers.len(), "row length mismatch in {name}");
         let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
         writeln!(file, "{}", line.join(",")).expect("can write row");
     }
+    file.flush().expect("can flush CSV file");
     path
 }
 

@@ -42,6 +42,9 @@ pub struct RthsLearner {
     freq: Vec<f64>,
     stage: u64,
     pending: Option<usize>,
+    /// Scratch copy of the played regret row, reused across stages so the
+    /// per-stage probability update allocates nothing.
+    row_scratch: Vec<f64>,
 }
 
 impl RthsLearner {
@@ -56,6 +59,7 @@ impl RthsLearner {
             freq: vec![1.0 / m as f64; m],
             stage: 0,
             pending: None,
+            row_scratch: Vec::with_capacity(m),
             config,
         }
     }
@@ -173,22 +177,25 @@ impl Learner for RthsLearner {
             }
         }
 
-        // Eq. (3-6) and the probability update.
+        // Eq. (3-6) and the probability update. The played row is copied
+        // into a reusable scratch buffer (update_probabilities needs the
+        // row while it rewrites probs, and conditional mode rescales it).
         self.update_regrets();
-        let mut regret_row: Vec<f64> = self.q.row(j).to_vec();
+        self.row_scratch.clear();
+        self.row_scratch.extend_from_slice(self.q.row(j));
         if self.config.conditional() {
             // Conditional regret: normalise row j by the play frequency
             // of j (floored at the exploration rate to stay bounded).
             let floor = policy::exploration_floor(m, self.config.delta());
             let f_j = self.freq[j].max(floor);
-            for r in regret_row.iter_mut() {
+            for r in self.row_scratch.iter_mut() {
                 *r /= f_j;
             }
         }
         policy::update_probabilities(
             &mut self.probs,
             j,
-            &regret_row,
+            &self.row_scratch,
             self.config.delta(),
             self.config.mu(),
         );
@@ -430,7 +437,7 @@ mod tests {
         let run = |seed: u64| {
             let mut l = RthsLearner::new(config(3));
             let mut r = rng(seed);
-            let mut actions = Vec::new();
+            let mut actions = Vec::with_capacity(100);
             for _ in 0..100 {
                 let a = l.select_action(&mut r);
                 actions.push(a);

@@ -1,0 +1,480 @@
+//! Deterministic data-parallel primitives for the simulation runtime.
+//!
+//! A dependency-free scoped fork/join layer in the spirit of rayon's
+//! `scope`/`par_map`, built on [`std::thread::scope`] so borrowed data can
+//! cross into workers without `'static` bounds or unsafe lifetime erasure.
+//! The workspace uses it to fan simulation work out across cores **without
+//! changing any result**: every primitive assigns items to workers by
+//! contiguous index ranges and hands results back in input order, so a
+//! caller that keeps its reductions index-ordered is bit-for-bit identical
+//! at any thread count.
+//!
+//! # Thread count
+//!
+//! The worker count comes from the `RTHS_THREADS` environment variable,
+//! re-read on every call (cheap, and lets tests flip it at runtime). Unset,
+//! unparsable, or `1` means **inline sequential execution on the calling
+//! thread** — no threads are spawned at all, which keeps CI and the golden
+//! tests on the exact code path the paper reproduction was pinned on.
+//! For the fine-grained primitives, inputs smaller than
+//! [`MIN_PARALLEL_ITEMS`] also run inline: below that, spawn overhead
+//! dwarfs the work and single-channel test systems with a handful of
+//! peers would pay for threads they cannot use.
+//!
+//! Regions **nest without multiplying**: a primitive called from inside a
+//! worker runs inline on that worker, so when the bench harness already
+//! fans one seed out per worker, the per-epoch phases inside each
+//! simulation do not spawn another `RTHS_THREADS` threads each.
+//!
+//! # Panics
+//!
+//! If a worker panics, the panic is re-raised on the calling thread with
+//! the original payload after all workers of the scope have finished
+//! (propagation is inherited from [`std::thread::scope`]).
+//!
+//! # Example
+//!
+//! ```
+//! let squares = rths_par::par_map(&[1u64, 2, 3], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9]);
+//! ```
+
+/// For the fine-grained per-entity primitives ([`par_chunks_mut`],
+/// [`par_zip_mut`]), inputs with fewer items than this run inline even
+/// when `RTHS_THREADS` asks for parallelism: thread spawn costs tens of
+/// microseconds, which only pays off once each worker has a meaningful
+/// slice of work. [`par_map`] is the coarse-task primitive (whole
+/// simulation runs, one per seed) and has no such cutoff.
+pub const MIN_PARALLEL_ITEMS: usize = 64;
+
+/// The configured worker count: `RTHS_THREADS` if set to a positive
+/// integer, otherwise `1` (sequential).
+pub fn threads() -> usize {
+    match std::env::var("RTHS_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+std::thread_local! {
+    /// True while this thread is executing a chunk on behalf of one of the
+    /// primitives. Nested calls then run inline: when the seed-level
+    /// fan-out already occupies every configured worker, letting each
+    /// simulation epoch spawn another `RTHS_THREADS` workers would give
+    /// T×T threads and per-epoch spawn churn for no extra parallelism.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Marks the current thread as a pool worker for the guard's lifetime.
+struct WorkerGuard {
+    was: bool,
+}
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        let was = IN_WORKER.with(|w| w.replace(true));
+        WorkerGuard { was }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        IN_WORKER.with(|w| w.set(self.was));
+    }
+}
+
+/// The worker count for a new parallel region: `threads()`, or `1` when
+/// already inside a worker (nested regions run inline).
+fn region_threads() -> usize {
+    if IN_WORKER.with(std::cell::Cell::get) {
+        1
+    } else {
+        threads()
+    }
+}
+
+/// Workers to actually use for `len` items (respects the inline cutoffs).
+fn workers_for(len: usize) -> usize {
+    if len < MIN_PARALLEL_ITEMS {
+        return 1;
+    }
+    region_threads().min(len).max(1)
+}
+
+/// Balanced contiguous `(start, end)` ranges covering `0..len` in order.
+fn chunk_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push((start, start + size));
+        start += size;
+    }
+    ranges
+}
+
+/// Joins scoped workers in spawn order, re-raising the first panic.
+fn join_all<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, T>>) -> Vec<T> {
+    let mut outputs = Vec::with_capacity(handles.len());
+    for handle in handles {
+        match handle.join() {
+            Ok(value) => outputs.push(value),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    outputs
+}
+
+/// Maps `f(index, &item)` over `items`, returning results in input order.
+///
+/// Work is split into one contiguous chunk per worker; the output is the
+/// in-order concatenation of the chunk results, so the return value is
+/// identical at any thread count.
+///
+/// This is the **coarse-task** primitive — each item is assumed to carry
+/// substantial work (e.g. one full simulation run per seed), so it
+/// parallelizes even tiny inputs; [`MIN_PARALLEL_ITEMS`] does not apply.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = region_threads().min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let ranges = chunk_ranges(items.len(), workers);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        // Spawn chunks 1.. first, then the calling thread works chunk 0
+        // itself instead of parking — one fewer spawn per call.
+        let mut handles = Vec::with_capacity(ranges.len() - 1);
+        for &(start, end) in &ranges[1..] {
+            let f = &f;
+            let chunk = &items[start..end];
+            handles.push(scope.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                chunk.iter().enumerate().map(|(i, item)| f(start + i, item)).collect::<Vec<R>>()
+            }));
+        }
+        {
+            let _guard = WorkerGuard::enter();
+            out.extend(
+                items[ranges[0].0..ranges[0].1].iter().enumerate().map(|(i, item)| f(i, item)),
+            );
+        }
+        for part in join_all(handles) {
+            out.extend(part);
+        }
+    });
+    out
+}
+
+/// Runs `f(offset, chunk)` on disjoint contiguous chunks of `items`, one
+/// chunk per worker. `offset` is the index of `chunk[0]` within `items`.
+///
+/// Sequential fallback calls `f(0, items)` once (and not at all on empty
+/// input), so `f` must not depend on *how* the slice is partitioned —
+/// only on which absolute indices it receives, which are always `0..len`
+/// exactly once.
+pub fn par_chunks_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        f(0, items);
+        return;
+    }
+    let ranges = chunk_ranges(items.len(), workers);
+    let (first, mut rest) = items.split_at_mut(ranges[0].1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len() - 1);
+        for &(start, end) in &ranges[1..] {
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                f(start, chunk)
+            }));
+        }
+        // The calling thread works chunk 0 itself instead of parking.
+        {
+            let _guard = WorkerGuard::enter();
+            f(0, first);
+        }
+        join_all(handles);
+    });
+}
+
+/// Runs `f(index, &mut a[index], &mut b[index])` for every index, with
+/// both slices partitioned at the same contiguous boundaries.
+///
+/// This is the simulator's workhorse: `a` holds the entities (peers), `b`
+/// an index-aligned scratch output slot per entity, so a parallel phase
+/// can mutate each entity and record its per-entity result without any
+/// shared accumulator — order-sensitive reductions then happen
+/// sequentially over `b` in index order.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn par_zip_mut<A, B, F>(a: &mut [A], b: &mut [B], f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut A, &mut B) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_zip_mut slices must be index-aligned");
+    if a.is_empty() {
+        return;
+    }
+    let workers = workers_for(a.len());
+    if workers <= 1 {
+        for (i, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            f(i, x, y);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(a.len(), workers);
+    let (first_a, mut rest_a) = a.split_at_mut(ranges[0].1);
+    let (first_b, mut rest_b) = b.split_at_mut(ranges[0].1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len() - 1);
+        for &(start, end) in &ranges[1..] {
+            let (chunk_a, tail_a) = rest_a.split_at_mut(end - start);
+            let (chunk_b, tail_b) = rest_b.split_at_mut(end - start);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                for (i, (x, y)) in chunk_a.iter_mut().zip(chunk_b.iter_mut()).enumerate() {
+                    f(start + i, x, y);
+                }
+            }));
+        }
+        // The calling thread works chunk 0 itself instead of parking.
+        {
+            let _guard = WorkerGuard::enter();
+            for (i, (x, y)) in first_a.iter_mut().zip(first_b.iter_mut()).enumerate() {
+                f(i, x, y);
+            }
+        }
+        join_all(handles);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate `RTHS_THREADS` (process-global state).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Restore (not delete) the ambient value afterwards — CI runs the
+        // suite with RTHS_THREADS=2 and later tests must still see it.
+        let prior = std::env::var("RTHS_THREADS").ok();
+        std::env::set_var("RTHS_THREADS", n.to_string());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        match prior {
+            Some(value) => std::env::set_var("RTHS_THREADS", value),
+            None => std::env::remove_var("RTHS_THREADS"),
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    #[test]
+    fn threads_defaults_to_one() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let prior = std::env::var("RTHS_THREADS").ok();
+        std::env::remove_var("RTHS_THREADS");
+        assert_eq!(threads(), 1);
+        std::env::set_var("RTHS_THREADS", "not-a-number");
+        assert_eq!(threads(), 1);
+        std::env::set_var("RTHS_THREADS", "0");
+        assert_eq!(threads(), 1);
+        std::env::set_var("RTHS_THREADS", " 3 ");
+        assert_eq!(threads(), 3);
+        match prior {
+            Some(value) => std::env::set_var("RTHS_THREADS", value),
+            None => std::env::remove_var("RTHS_THREADS"),
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [1usize, 5, 64, 100, 1001] {
+            for parts in [1usize, 2, 3, 7, 64] {
+                let ranges = chunk_ranges(len, parts.min(len));
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges.last().unwrap().1, len);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0, "gap at {pair:?}");
+                }
+                let max = ranges.iter().map(|(s, e)| e - s).max().unwrap();
+                let min = ranges.iter().map(|(s, e)| e - s).min().unwrap();
+                assert!(max - min <= 1, "unbalanced chunks: {ranges:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_indices() {
+        let items: Vec<u64> = (0..1000).collect();
+        let sequential: Vec<u64> =
+            items.iter().enumerate().map(|(i, &x)| x * 2 + i as u64).collect();
+        for n in [1usize, 2, 4, 7] {
+            let parallel = with_threads(n, || par_map(&items, |i, &x| x * 2 + i as u64));
+            assert_eq!(parallel, sequential, "mismatch at {n} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let out: Vec<u32> = with_threads(4, || par_map(&[] as &[u32], |_, &x| x));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn small_inputs_run_inline_for_fine_grained_primitives() {
+        // Below MIN_PARALLEL_ITEMS the calling thread does all the work,
+        // so a thread-identity probe sees only one thread.
+        let mut items = vec![0u8; MIN_PARALLEL_ITEMS - 1];
+        let mut ids = vec![None; MIN_PARALLEL_ITEMS - 1];
+        with_threads(8, || {
+            par_zip_mut(&mut items, &mut ids, |_, _, id| {
+                *id = Some(std::thread::current().id());
+            });
+        });
+        assert!(ids.iter().all(|&id| id == Some(std::thread::current().id())));
+    }
+
+    #[test]
+    fn par_map_parallelizes_small_inputs() {
+        // Coarse tasks fan out even when there are only a few of them
+        // (e.g. ten seeds): no MIN_PARALLEL_ITEMS cutoff.
+        let items = [0u8; 4];
+        let ids = with_threads(4, || par_map(&items, |_, _| std::thread::current().id()));
+        assert!(ids.iter().any(|&id| id != std::thread::current().id()));
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_index_once() {
+        let mut data = vec![0u32; 500];
+        with_threads(4, || {
+            par_chunks_mut(&mut data, |offset, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot += (offset + i) as u32;
+                }
+            });
+        });
+        let expected: Vec<u32> = (0..500).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_input() {
+        let mut data: Vec<u32> = Vec::new();
+        with_threads(4, || par_chunks_mut(&mut data, |_, _| panic!("must not be called")));
+    }
+
+    #[test]
+    fn par_zip_mut_aligns_slices() {
+        let mut a: Vec<u64> = (0..777).collect();
+        let mut b = vec![0u64; 777];
+        with_threads(3, || {
+            par_zip_mut(&mut a, &mut b, |i, x, y| {
+                *x += 1;
+                *y = *x + i as u64;
+            });
+        });
+        for (i, (&x, &y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x, i as u64 + 1);
+            assert_eq!(y, 2 * i as u64 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index-aligned")]
+    fn par_zip_mut_rejects_length_mismatch() {
+        let mut a = [1u8, 2];
+        let mut b = [1u8];
+        par_zip_mut(&mut a, &mut b, |_, _, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let items: Vec<usize> = (0..400).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |i, _| {
+                    if i == 250 {
+                        panic!("boom at 250");
+                    }
+                    i
+                })
+            })
+        });
+        let payload = result.expect_err("panic should propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("boom at 250"), "unexpected payload: {message}");
+    }
+
+    #[test]
+    fn nested_scopes_compose() {
+        // A worker may itself call the primitives: the nested region runs
+        // inline on that worker (no T×T thread blow-up) and produces the
+        // same in-order results.
+        let outer: Vec<usize> = (0..128).collect();
+        let result = with_threads(2, || {
+            par_map(&outer, |_, &o| {
+                let inner: Vec<usize> = (0..128).collect();
+                par_map(&inner, |_, &i| o * i).into_iter().sum::<usize>()
+            })
+        });
+        let inner_sum: usize = (0..128).sum();
+        let expected: Vec<usize> = (0..128).map(|o| o * inner_sum).collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn nested_regions_run_inline_on_their_worker() {
+        // Inside a worker, a nested par_map must not spawn further
+        // threads: every nested item is executed by the worker itself.
+        let outer = [0u8; 2];
+        let nested_ids = with_threads(2, || {
+            par_map(&outer, |_, _| {
+                let me = std::thread::current().id();
+                let inner = [0u8; 8];
+                let ids = par_map(&inner, |_, _| std::thread::current().id());
+                (me, ids)
+            })
+        });
+        for (worker, ids) in nested_ids {
+            assert!(ids.iter().all(|&id| id == worker), "nested region left its worker");
+        }
+    }
+}

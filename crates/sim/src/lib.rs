@@ -51,7 +51,9 @@ pub mod workload;
 
 pub use config::{Algorithm, BandwidthSpec, LearnerSpec, SimConfig, SimConfigBuilder};
 pub use metrics::SimMetrics;
-pub use multichannel::{AllocationPolicy, MultiChannelConfig, MultiChannelSystem};
+pub use multichannel::{
+    AllocationPolicy, MultiChannelConfig, MultiChannelOutcome, MultiChannelSystem,
+};
 pub use playback::{PlaybackBuffer, PlaybackStats};
 pub use scenario::Scenario;
 pub use system::{Outcome, System};

@@ -66,33 +66,45 @@ impl AllocationPolicy {
     /// Panics for [`AllocationPolicy::Learned`], whose splits are chosen
     /// by per-helper learners inside [`MultiChannelSystem`].
     pub fn split(&self, cap: f64, loads: &[usize], bitrates: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(loads.len());
+        self.split_into(cap, loads, bitrates, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`split`](Self::split): appends the
+    /// per-channel bandwidths to `out` (cleared first), reusing its
+    /// capacity — the per-epoch path of [`MultiChannelSystem`].
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`split`](Self::split).
+    pub fn split_into(&self, cap: f64, loads: &[usize], bitrates: &[f64], out: &mut Vec<f64>) {
         assert_eq!(loads.len(), bitrates.len(), "loads/bitrates length mismatch");
+        out.clear();
         let k = loads.len();
         if k == 0 {
-            return Vec::new();
+            return;
         }
         match self {
             AllocationPolicy::Learned => {
                 panic!("learned allocation is resolved by MultiChannelSystem, not split()")
             }
-            AllocationPolicy::EvenSplit => vec![cap / k as f64; k],
+            AllocationPolicy::EvenSplit => out.resize(k, cap / k as f64),
             AllocationPolicy::LoadProportional => {
                 let total: usize = loads.iter().sum();
                 if total == 0 {
-                    vec![cap / k as f64; k]
+                    out.resize(k, cap / k as f64);
                 } else {
-                    loads.iter().map(|&n| cap * n as f64 / total as f64).collect()
+                    out.extend(loads.iter().map(|&n| cap * n as f64 / total as f64));
                 }
             }
             AllocationPolicy::WaterFilling => {
-                let demands: Vec<f64> =
-                    loads.iter().zip(bitrates).map(|(&n, &b)| n as f64 * b).collect();
-                let total: f64 = demands.iter().sum();
+                let total: f64 = loads.iter().zip(bitrates).map(|(&n, &b)| n as f64 * b).sum();
                 if total <= 0.0 {
-                    vec![cap / k as f64; k]
+                    out.resize(k, cap / k as f64);
                 } else {
                     let scale = (cap / total).min(1.0);
-                    demands.iter().map(|d| d * scale).collect()
+                    out.extend(loads.iter().zip(bitrates).map(|(&n, &b)| n as f64 * b * scale));
                 }
             }
         }
@@ -287,9 +299,42 @@ fn split_templates(channels: usize) -> Vec<Vec<f64>> {
     out
 }
 
+/// Reusable per-epoch buffers, hoisted out of
+/// [`MultiChannelSystem::step_epoch`] so steady-state epochs allocate
+/// nothing. Matrices over (helper, channel) are stored flattened row-major
+/// (`index = helper * num_channels + channel`).
+#[derive(Debug, Default)]
+struct McScratch {
+    /// Local action (index into the channel's helper list) per peer.
+    locals: Vec<usize>,
+    /// Global helper index per peer.
+    globals: Vec<usize>,
+    /// Viewers of channel `c` connected to helper `j`, flattened.
+    loads: Vec<usize>,
+    /// Bandwidth helper `j` assigns to channel `c`, flattened.
+    bandwidth: Vec<f64>,
+    /// Per-helper split inputs/outputs (reused across helpers).
+    served_loads: Vec<usize>,
+    served_rates: Vec<f64>,
+    split: Vec<f64>,
+    /// Counterfactual join rates, grouped per channel: channel `c`'s
+    /// rates live at `join_rates[join_offsets[c]..join_offsets[c + 1]]`.
+    join_offsets: Vec<usize>,
+    join_rates: Vec<f64>,
+    /// Delivered rate per peer.
+    delivered: Vec<f64>,
+    /// Unmet demand per peer.
+    residuals: Vec<f64>,
+    /// Throughput delivered via each helper.
+    helper_delivered: Vec<f64>,
+}
+
 /// The two-level multi-channel system.
 pub struct MultiChannelSystem {
     config: MultiChannelConfig,
+    /// Per-channel bitrates, cached from `config.channels` (channels are
+    /// immutable for the lifetime of a system).
+    bitrates: Vec<f64>,
     helpers: Vec<Helper>,
     /// Per-helper allocation learners (only for
     /// [`AllocationPolicy::Learned`]).
@@ -305,6 +350,7 @@ pub struct MultiChannelSystem {
     server_load: ConvergenceSeries,
     worst_empirical_regret: ConvergenceSeries,
     channel_rate_sums: Vec<f64>,
+    scratch: McScratch,
 }
 
 impl std::fmt::Debug for MultiChannelSystem {
@@ -408,6 +454,7 @@ impl MultiChannelSystem {
         };
         Self {
             helper_learners,
+            bitrates: config.channels.iter().map(Channel::bitrate).collect(),
             config,
             helpers,
             peers,
@@ -418,6 +465,7 @@ impl MultiChannelSystem {
             server_load: ConvergenceSeries::new("server_load"),
             worst_empirical_regret: ConvergenceSeries::new("worst_empirical_regret"),
             channel_rate_sums,
+            scratch: McScratch::default(),
         }
     }
 
@@ -469,92 +517,145 @@ impl MultiChannelSystem {
             helper.step();
         }
 
+        let n = self.peers.len();
+        let bitrates = &self.bitrates;
+        let McScratch {
+            locals,
+            globals,
+            loads,
+            bandwidth,
+            served_loads,
+            served_rates,
+            split,
+            join_offsets,
+            join_rates,
+            delivered,
+            residuals,
+            helper_delivered,
+        } = &mut self.scratch;
+
         // Peer-level helper selection (local action index into the
-        // channel's helper list).
-        let locals: Vec<usize> = self.peers.iter_mut().map(Peer::choose_helper).collect();
-        // n[j][c] = viewers of channel c connected to helper j.
-        let mut loads = vec![vec![0usize; k]; h];
-        let mut globals = Vec::with_capacity(self.peers.len());
-        for (peer, &local) in self.peers.iter().zip(&locals) {
+        // channel's helper list). Parallel over peers: each peer samples
+        // from its own RNG stream, so the profile is independent of the
+        // worker partition.
+        locals.clear();
+        locals.resize(n, 0);
+        rths_par::par_zip_mut(&mut self.peers, locals, |_, peer, slot| {
+            *slot = peer.choose_helper();
+        });
+        // loads[j*k + c] = viewers of channel c connected to helper j.
+        loads.clear();
+        loads.resize(h * k, 0);
+        globals.clear();
+        for (peer, &local) in self.peers.iter().zip(locals.iter()) {
             let c = peer.channel();
             let global = self.channel_helpers[c][local];
-            loads[global][c] += 1;
+            loads[global * k + c] += 1;
             globals.push(global);
         }
 
         // Helper-level bandwidth allocation across channels.
-        let bitrates: Vec<f64> = self.config.channels.iter().map(Channel::bitrate).collect();
-        // bandwidth[j][c]
-        let mut bandwidth = vec![vec![0.0; k]; h];
+        bandwidth.clear();
+        bandwidth.resize(h * k, 0.0);
         for j in 0..h {
             let served = &self.config.helper_channels[j];
-            let split = match &mut self.helper_learners[j] {
+            match &mut self.helper_learners[j] {
                 Some(alloc) => {
                     // RTHS at the helper level, on a slower timescale:
                     // the current template is held for a window of epochs
                     // before being scored (see HelperAllocator).
                     let cap = self.helpers[j].capacity();
-                    alloc.weights().iter().map(|w| w * cap).collect::<Vec<f64>>()
+                    split.clear();
+                    split.extend(alloc.weights().iter().map(|w| w * cap));
                 }
                 None => {
-                    let served_loads: Vec<usize> =
-                        served.iter().map(|&c| loads[j][c]).collect();
-                    let served_rates: Vec<f64> = served.iter().map(|&c| bitrates[c]).collect();
-                    self.config.allocation.split(
+                    served_loads.clear();
+                    served_loads.extend(served.iter().map(|&c| loads[j * k + c]));
+                    served_rates.clear();
+                    served_rates.extend(served.iter().map(|&c| bitrates[c]));
+                    self.config.allocation.split_into(
                         self.helpers[j].capacity(),
-                        &served_loads,
-                        &served_rates,
-                    )
+                        served_loads,
+                        served_rates,
+                        split,
+                    );
                 }
-            };
+            }
             for (idx, &c) in served.iter().enumerate() {
-                bandwidth[j][c] = split[idx];
+                bandwidth[j * k + c] = split[idx];
             }
         }
 
-        // Delivery, feedback, server settlement.
-        let mut residuals = Vec::with_capacity(self.peers.len());
+        // Counterfactual join rates, grouped per channel: they depend
+        // only on the channel (loads count the incumbent peers), so one
+        // evaluation serves every viewer of the channel — the sequential
+        // engine used to rebuild this vector per peer, per epoch.
+        join_offsets.clear();
+        join_rates.clear();
+        join_offsets.push(0);
+        for c in 0..k {
+            let d = bitrates[c];
+            join_rates.extend(self.channel_helpers[c].iter().map(|&jj| {
+                let n_joined = loads[jj * k + c] + 1;
+                (bandwidth[jj * k + c] / n_joined as f64).min(d)
+            }));
+            join_offsets.push(join_rates.len());
+        }
+
+        // Delivery and bandit feedback (parallel). Each peer's rate lands
+        // in an index-aligned slot; every order-sensitive float reduction
+        // happens below in peer order, so results are bit-identical at
+        // any thread count.
+        delivered.clear();
+        delivered.resize(n, 0.0);
+        {
+            let locals = &*locals;
+            let globals = &*globals;
+            let loads = &*loads;
+            let bandwidth = &*bandwidth;
+            let join_offsets = &*join_offsets;
+            let join_rates = &*join_rates;
+            rths_par::par_zip_mut(&mut self.peers, delivered, move |i, peer, slot| {
+                let c = peer.channel();
+                let d = bitrates[c];
+                let global = globals[i];
+                let n_c = loads[global * k + c];
+                let share = if n_c == 0 { 0.0 } else { bandwidth[global * k + c] / n_c as f64 };
+                let rate = share.min(d);
+                peer.deliver(rate, rate >= d - 1e-9);
+                peer.record_true_regret(
+                    locals[i],
+                    rate,
+                    &join_rates[join_offsets[c]..join_offsets[c + 1]],
+                );
+                *slot = rate;
+            });
+        }
         let mut welfare = 0.0;
         let mut worst_emp: f64 = 0.0;
-        let mut helper_delivered = vec![0.0f64; h];
-        for (peer, &global) in self.peers.iter_mut().zip(&globals) {
+        helper_delivered.clear();
+        helper_delivered.resize(h, 0.0);
+        residuals.clear();
+        for (i, (peer, &rate)) in self.peers.iter().zip(delivered.iter()).enumerate() {
             let c = peer.channel();
-            let d = bitrates[c];
-            let n = loads[global][c];
-            let share = if n == 0 { 0.0 } else { bandwidth[global][c] / n as f64 };
-            let rate = share.min(d);
-            peer.deliver(rate, rate >= d - 1e-9);
-            // Counterfactual join rates within the channel's helper set.
-            let join_rates: Vec<f64> = self.channel_helpers[c]
-                .iter()
-                .map(|&jj| {
-                    let n_joined = loads[jj][c] + 1;
-                    (bandwidth[jj][c] / n_joined as f64).min(d)
-                })
-                .collect();
-            let local = self.channel_helpers[c]
-                .iter()
-                .position(|&jj| jj == global)
-                .expect("global helper serves the channel");
-            peer.record_true_regret(local, rate, &join_rates);
             worst_emp = worst_emp.max(peer.empirical_regret());
-            helper_delivered[global] += rate;
+            helper_delivered[globals[i]] += rate;
             welfare += rate;
             self.channel_rate_sums[c] += rate;
-            residuals.push((d - rate).max(0.0));
+            residuals.push((bitrates[c] - rate).max(0.0));
         }
         // Helper-level bandit feedback: each learning helper accumulates
         // its own delivered throughput — purely local information.
-        for (slot, &delivered) in self.helper_learners.iter_mut().zip(&helper_delivered) {
+        for (slot, &dlv) in self.helper_learners.iter_mut().zip(helper_delivered.iter()) {
             if let Some(alloc) = slot {
-                alloc.record(delivered);
+                alloc.record(dlv);
             }
         }
         let total_demand: f64 = self.peers.iter().map(|p| bitrates[p.channel()]).sum();
         let helper_min: f64 = self.helpers.iter().map(Helper::min_capacity).sum();
         let helper_now: f64 = self.helpers.iter().map(Helper::capacity).sum();
         let epoch_result =
-            self.server.settle_epoch(&residuals, total_demand, helper_min, helper_now);
+            self.server.settle_epoch(residuals, total_demand, helper_min, helper_now);
 
         self.welfare.push(welfare);
         self.server_load.push(epoch_result.load);

@@ -31,6 +31,25 @@ pub struct Outcome {
     pub final_capacities: Vec<f64>,
 }
 
+/// Reusable per-epoch buffers, hoisted out of [`System::step_epoch`] so
+/// steady-state epochs allocate nothing: each buffer is cleared and
+/// refilled in place every epoch (capacity is retained across epochs).
+#[derive(Debug, Default)]
+struct EpochScratch {
+    /// Chosen helper per peer.
+    profile: Vec<usize>,
+    /// Peers per helper.
+    loads: Vec<usize>,
+    /// Realized per-connection share per helper.
+    shares: Vec<f64>,
+    /// Counterfactual join rate per helper.
+    join_rates: Vec<f64>,
+    /// Unmet demand per peer.
+    residuals: Vec<f64>,
+    /// Delivered rate per peer.
+    delivered: Vec<f64>,
+}
+
 /// The single-channel helper-assisted streaming system.
 pub struct System {
     config: SimConfig,
@@ -43,6 +62,7 @@ pub struct System {
     epoch: u64,
     next_peer_id: u64,
     master_rng: StdRng,
+    scratch: EpochScratch,
 }
 
 impl std::fmt::Debug for System {
@@ -100,6 +120,7 @@ impl System {
             epoch: 0,
             next_peer_id,
             master_rng,
+            scratch: EpochScratch::default(),
         }
     }
 
@@ -195,58 +216,79 @@ impl System {
             self.spawn_peer();
         }
 
-        // 3. Decentralized helper selection.
-        let profile: Vec<usize> = self.peers.iter_mut().map(Peer::choose_helper).collect();
-        let mut loads = vec![0usize; h];
-        for &a in &profile {
+        // 3. Decentralized helper selection. Parallel over peers: each
+        // peer samples from its own RNG stream, so the choice profile is
+        // independent of the worker partition.
+        let n = self.peers.len();
+        let demand = self.config.demand;
+        let EpochScratch { profile, loads, shares, join_rates, residuals, delivered } =
+            &mut self.scratch;
+        profile.clear();
+        profile.resize(n, 0);
+        rths_par::par_zip_mut(&mut self.peers, profile, |_, peer, slot| {
+            *slot = peer.choose_helper();
+        });
+        loads.clear();
+        loads.resize(h, 0);
+        for &a in profile.iter() {
             loads[a] += 1;
         }
 
-        // 4-5. Rate allocation and bandit feedback.
-        let shares: Vec<f64> =
-            self.helpers.iter().zip(&loads).map(|(hp, &l)| hp.share(l)).collect();
-        let join_rates: Vec<f64> = self
-            .helpers
-            .iter()
-            .zip(&loads)
-            .map(|(hp, &l)| {
-                let raw = hp.share(l + 1);
-                match self.config.demand {
-                    Some(d) => raw.min(d),
-                    None => raw,
-                }
-            })
-            .collect();
-        let mut residuals = Vec::with_capacity(self.peers.len());
-        let mut delivered = Vec::with_capacity(self.peers.len());
+        // 4-5. Rate allocation and bandit feedback. The per-peer phase is
+        // parallel and records each peer's rate into an index-aligned
+        // slot; all order-sensitive float reductions happen afterwards in
+        // peer order, so results are bit-identical at any thread count.
+        shares.clear();
+        shares.extend(self.helpers.iter().zip(loads.iter()).map(|(hp, &l)| hp.share(l)));
+        join_rates.clear();
+        join_rates.extend(self.helpers.iter().zip(loads.iter()).map(|(hp, &l)| {
+            let raw = hp.share(l + 1);
+            match demand {
+                Some(d) => raw.min(d),
+                None => raw,
+            }
+        }));
+        delivered.clear();
+        delivered.resize(n, 0.0);
+        {
+            let profile = &*profile;
+            let shares = &*shares;
+            let join_rates = &*join_rates;
+            rths_par::par_zip_mut(&mut self.peers, delivered, move |i, peer, slot| {
+                let share = shares[profile[i]];
+                let (rate, satisfied) = match demand {
+                    Some(d) => {
+                        let r = share.min(d);
+                        (r, r >= d - 1e-9)
+                    }
+                    None => (share, true),
+                };
+                peer.deliver(rate, satisfied);
+                peer.record_true_regret(profile[i], rate, join_rates);
+                *slot = rate;
+            });
+        }
         let mut welfare = 0.0;
-        for (peer, &a) in self.peers.iter_mut().zip(&profile) {
-            let share = shares[a];
-            let (rate, satisfied, residual) = match self.config.demand {
-                Some(d) => {
-                    let r = share.min(d);
-                    (r, r >= d - 1e-9, (d - r).max(0.0))
-                }
-                None => (share, true, 0.0),
-            };
-            peer.deliver(rate, satisfied);
-            peer.record_true_regret(a, rate, &join_rates);
+        residuals.clear();
+        for &rate in delivered.iter() {
             welfare += rate;
-            residuals.push(residual);
-            delivered.push(rate);
+            residuals.push(match demand {
+                Some(d) => (d - rate).max(0.0),
+                None => 0.0,
+            });
         }
         if let Some(series) = &mut self.peer_rate_series {
-            for (s, &r) in series.iter_mut().zip(&delivered) {
+            for (s, &r) in series.iter_mut().zip(delivered.iter()) {
                 s.push(r);
             }
         }
 
         // 6. Server settles residual demand.
-        let total_demand = self.config.demand.unwrap_or(0.0) * self.peers.len() as f64;
+        let total_demand = demand.unwrap_or(0.0) * self.peers.len() as f64;
         let helper_min: f64 = self.helpers.iter().map(Helper::min_capacity).sum();
         let helper_now: f64 = self.helpers.iter().map(Helper::capacity).sum();
         let server_epoch =
-            self.server.settle_epoch(&residuals, total_demand, helper_min, helper_now);
+            self.server.settle_epoch(residuals, total_demand, helper_min, helper_now);
 
         // 7. Metrics.
         self.metrics.welfare.push(welfare);
@@ -254,7 +296,7 @@ impl System {
         self.metrics.min_deficit.push(server_epoch.min_deficit);
         self.metrics.current_deficit.push(server_epoch.current_deficit);
         self.metrics.population.push(self.peers.len() as f64);
-        self.metrics.jain.push(rths_math::stats::jain_index(&delivered));
+        self.metrics.jain.push(rths_math::stats::jain_index(delivered));
         let worst_est = self.peers.iter().map(Peer::max_regret).fold(0.0f64, f64::max);
         self.metrics.worst_regret_estimate.push(worst_est);
         let worst_emp = self.peers.iter().map(Peer::empirical_regret).fold(0.0f64, f64::max);
@@ -263,13 +305,13 @@ impl System {
         // Per-epoch switches = difference of cumulative counts.
         let prev_total = self.metrics.switches.values().iter().sum::<f64>();
         self.metrics.switches.push((total_switches as f64 - prev_total).max(0.0));
-        for (series, &l) in self.metrics.helper_loads.iter_mut().zip(&loads) {
+        for (series, &l) in self.metrics.helper_loads.iter_mut().zip(loads.iter()) {
             series.push(l as f64);
         }
 
         if let Some(joint) = &mut self.joint {
             if self.epoch >= self.config.record_joint_from {
-                joint.record(&profile);
+                joint.record(profile);
             }
         }
         self.epoch += 1;

@@ -43,9 +43,11 @@ impl Zipf {
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "need at least one rank");
         assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
-        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
-        let total: f64 = weights.iter().sum();
-        let pmf: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut pmf: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = pmf.iter().sum();
+        for w in &mut pmf {
+            *w /= total;
+        }
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for &p in &pmf {

@@ -8,6 +8,7 @@
 //! * [`rths_sim`] — the streaming-system simulator (evaluation substrate);
 //! * [`rths_net`] — the threaded message-passing runtime;
 //! * [`rths_mdp`] — the centralized MDP benchmark;
+//! * [`rths_par`] — the deterministic data-parallel runtime;
 //! * [`rths_stoch`], [`rths_lp`], [`rths_math`] — supporting substrates.
 
 pub use rths_core as core;
@@ -16,6 +17,7 @@ pub use rths_lp as lp;
 pub use rths_math as math;
 pub use rths_mdp as mdp;
 pub use rths_net as net;
+pub use rths_par as par;
 pub use rths_sim as sim;
 pub use rths_stoch as stoch;
 

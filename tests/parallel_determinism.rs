@@ -1,0 +1,162 @@
+//! The parallel runtime's contract: `RTHS_THREADS` changes wall-clock
+//! time, never results. Both engines are run at 1, 2, and 4 workers and
+//! every recorded series must be **bit-for-bit** identical (`f64::to_bits`
+//! equality, not tolerance) — the property every golden/trajectory-pinned
+//! test in this repository relies on.
+//!
+//! Populations are kept above `rths_par::MIN_PARALLEL_ITEMS` so the
+//! multi-worker runs genuinely exercise the pool rather than the inline
+//! fallback.
+
+use std::sync::Mutex;
+
+use rths_suite::sim::{
+    AllocationPolicy, BandwidthSpec, LearnerSpec, MultiChannelConfig, MultiChannelSystem,
+    Outcome, SimConfig, System,
+};
+use rths_suite::stoch::process::ChurnProcess;
+
+/// Serializes tests that mutate the process-global `RTHS_THREADS`.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    // Restore (not delete) the ambient value afterwards — CI runs the
+    // suite with RTHS_THREADS=2 and later tests must still see it.
+    let prior = std::env::var("RTHS_THREADS").ok();
+    std::env::set_var("RTHS_THREADS", n.to_string());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match prior {
+        Some(value) => std::env::set_var("RTHS_THREADS", value),
+        None => std::env::remove_var("RTHS_THREADS"),
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[track_caller]
+fn assert_bit_identical(label: &str, threads: usize, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{label}: length diverged at {threads} threads");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}[{i}]: {x} != {y} at {threads} threads vs sequential"
+        );
+    }
+}
+
+fn single_channel_outcome() -> Outcome {
+    // Big enough to engage the pool, with demand (residual/server path),
+    // churn (population changes across epochs), and the conditional
+    // learner extension all exercised.
+    let config = SimConfig::builder(200, vec![BandwidthSpec::Paper { stay: 0.98 }; 12])
+        .demand(60.0)
+        .churn(ChurnProcess::new(1.0, 0.005))
+        .learner(LearnerSpec { conditional: true, ..LearnerSpec::default() })
+        .seed(4242)
+        .build();
+    System::new(config).run(400)
+}
+
+#[test]
+fn system_outcome_is_thread_count_invariant() {
+    let sequential = with_threads(1, single_channel_outcome);
+    for threads in [2usize, 4] {
+        let parallel = with_threads(threads, single_channel_outcome);
+        assert_eq!(parallel.epochs, sequential.epochs);
+        assert_eq!(parallel.final_population, sequential.final_population);
+        let pairs: [(&str, &[f64], &[f64]); 7] = [
+            ("welfare", parallel.metrics.welfare.values(), sequential.metrics.welfare.values()),
+            (
+                "server_load",
+                parallel.metrics.server_load.values(),
+                sequential.metrics.server_load.values(),
+            ),
+            ("jain", parallel.metrics.jain.values(), sequential.metrics.jain.values()),
+            (
+                "worst_empirical_regret",
+                parallel.metrics.worst_empirical_regret.values(),
+                sequential.metrics.worst_empirical_regret.values(),
+            ),
+            (
+                "population",
+                parallel.metrics.population.values(),
+                sequential.metrics.population.values(),
+            ),
+            (
+                "mean_peer_rates",
+                &parallel.metrics.mean_peer_rates,
+                &sequential.metrics.mean_peer_rates,
+            ),
+            ("final_capacities", &parallel.final_capacities, &sequential.final_capacities),
+        ];
+        for (label, par_series, seq_series) in pairs {
+            assert_bit_identical(label, threads, par_series, seq_series);
+        }
+        for (j, (par_loads, seq_loads)) in parallel
+            .metrics
+            .helper_loads
+            .iter()
+            .zip(&sequential.metrics.helper_loads)
+            .enumerate()
+        {
+            assert_bit_identical(
+                &format!("helper_loads[{j}]"),
+                threads,
+                par_loads.values(),
+                seq_loads.values(),
+            );
+        }
+    }
+}
+
+fn multi_channel_outcome(policy: AllocationPolicy) -> rths_suite::sim::MultiChannelOutcome {
+    let config = MultiChannelConfig::standard(8, 400.0, 24, 3, 240, 1.2, policy, 99);
+    MultiChannelSystem::new(config).run(300)
+}
+
+#[test]
+fn multichannel_outcome_is_thread_count_invariant() {
+    for policy in [AllocationPolicy::WaterFilling, AllocationPolicy::Learned] {
+        let sequential = with_threads(1, || multi_channel_outcome(policy));
+        for threads in [2usize, 4] {
+            let parallel = with_threads(threads, || multi_channel_outcome(policy));
+            assert_eq!(parallel.epochs, sequential.epochs, "{policy:?}");
+            assert_eq!(
+                parallel.viewer_fairness.to_bits(),
+                sequential.viewer_fairness.to_bits(),
+                "{policy:?} viewer_fairness at {threads} threads"
+            );
+            let pairs: [(&str, &[f64], &[f64]); 5] = [
+                ("welfare", parallel.welfare.values(), sequential.welfare.values()),
+                ("server_load", parallel.server_load.values(), sequential.server_load.values()),
+                (
+                    "worst_empirical_regret",
+                    parallel.worst_empirical_regret.values(),
+                    sequential.worst_empirical_regret.values(),
+                ),
+                (
+                    "mean_channel_rates",
+                    &parallel.mean_channel_rates,
+                    &sequential.mean_channel_rates,
+                ),
+                (
+                    "channel_continuity",
+                    &parallel.channel_continuity,
+                    &sequential.channel_continuity,
+                ),
+            ];
+            for (label, par_series, seq_series) in pairs {
+                assert_bit_identical(
+                    &format!("{policy:?}/{label}"),
+                    threads,
+                    par_series,
+                    seq_series,
+                );
+            }
+        }
+    }
+}
