@@ -1,0 +1,186 @@
+//! Decentralized-runtime throughput: emits `BENCH_net.json`.
+//!
+//! Runs a peers×helpers grid through **both net backends** — the
+//! thread-per-actor runtime and the reactor event loop — and records
+//! wall-clock **actors/sec** (actor-epochs processed per second: every
+//! actor takes part in every epoch) plus a welfare checksum per run. The
+//! checksum pins the headline property: both backends produce bit-for-bit
+//! identical trajectories, so the reactor's ~order-of-magnitude scaling
+//! headroom is free of behaviour drift.
+//!
+//! The top grid point hosts **5,000 actors** — far beyond what
+//! thread-per-actor can sensibly run in CI, which is exactly the gap the
+//! reactor closes. Run with:
+//! `cargo run --release -p rths_bench --bin bench_net`
+//!
+//! * `RTHS_BENCH_QUICK=1` shrinks epochs and caps the threaded backend at
+//!   [`QUICK_THREADED_ACTOR_CAP`] actors (CI smoke).
+//! * `RTHS_THREADS` shards the reactor's rounds (recorded in the JSON;
+//!   results are identical at any value).
+//! * Output lands in `results/BENCH_net.json` (see `RTHS_RESULTS_DIR`).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+use rths_bench::results_dir;
+use rths_net::{Backend, NetConfig, NetOutcome};
+use rths_sim::{BandwidthSpec, SimConfig};
+
+/// In quick (CI) mode, skip the threaded backend above this actor count:
+/// thousands of OS threads on a shared runner is exactly the pathology
+/// the reactor exists to avoid.
+const QUICK_THREADED_ACTOR_CAP: usize = 1_200;
+
+/// One grid point.
+struct Scenario {
+    peers: usize,
+    helpers: usize,
+    epochs: u64,
+}
+
+impl Scenario {
+    fn actors(&self) -> usize {
+        self.peers + self.helpers
+    }
+}
+
+/// One timed run.
+struct Run {
+    backend: &'static str,
+    threads: usize,
+    secs: f64,
+    actors_per_sec: f64,
+    welfare_checksum: f64,
+}
+
+fn grid(quick: bool) -> Vec<Scenario> {
+    let scale = if quick { 4 } else { 1 };
+    vec![
+        Scenario { peers: 152, helpers: 8, epochs: 200 / scale },
+        Scenario { peers: 960, helpers: 40, epochs: 60 / scale },
+        // The headline point: 5,000 actors in one process.
+        Scenario { peers: 4_950, helpers: 50, epochs: (50 / scale).max(10) },
+    ]
+}
+
+fn config(s: &Scenario) -> NetConfig {
+    let sim = SimConfig::builder(s.peers, vec![BandwidthSpec::Paper { stay: 0.98 }; s.helpers])
+        .seed(7)
+        .build();
+    NetConfig::from_sim(sim)
+}
+
+fn time_backend(s: &Scenario, backend: Backend) -> (f64, NetOutcome) {
+    let cfg = match backend {
+        Backend::Threaded => config(s),
+        Backend::Reactor => config(s).with_backend(Backend::Reactor),
+    };
+    let start = Instant::now();
+    let out = rths_net::run(cfg, s.epochs);
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn main() {
+    let quick = std::env::var("RTHS_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let threads = rths_par::threads();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scenarios = grid(quick);
+    println!(
+        "BENCH_net — decentralized runtime throughput ({} scenarios, reactor threads {}, \
+         {} host cores{})",
+        scenarios.len(),
+        threads,
+        host_cores,
+        if quick { ", quick mode" } else { "" }
+    );
+    println!(
+        "\n{:<6} {:>8} {:>7} {:>7} | {:>9} {:>8} {:>9} {:>14}",
+        "peers", "helpers", "actors", "epochs", "backend", "threads", "secs", "actors/sec"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"net_backend_grid\",");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"scenarios\": [");
+
+    for (si, s) in scenarios.iter().enumerate() {
+        let mut runs: Vec<Run> = Vec::new();
+        let threaded_ok = !quick || s.actors() <= QUICK_THREADED_ACTOR_CAP;
+        if threaded_ok {
+            let (secs, out) = time_backend(s, Backend::Threaded);
+            runs.push(Run {
+                backend: "threaded",
+                threads: 1, // one coordinator thread drives; actors are their own threads
+                secs,
+                actors_per_sec: (s.actors() as u64 * s.epochs) as f64 / secs.max(1e-12),
+                welfare_checksum: out.metrics.welfare.values().iter().sum(),
+            });
+        } else {
+            println!(
+                "{:<6} {:>8} {:>7} {:>7} | {:>9} (skipped in quick mode: {} OS threads)",
+                s.peers,
+                s.helpers,
+                s.actors(),
+                s.epochs,
+                "threaded",
+                s.actors()
+            );
+        }
+        let (secs, out) = time_backend(s, Backend::Reactor);
+        runs.push(Run {
+            backend: "reactor",
+            threads,
+            secs,
+            actors_per_sec: (s.actors() as u64 * s.epochs) as f64 / secs.max(1e-12),
+            welfare_checksum: out.metrics.welfare.values().iter().sum(),
+        });
+
+        let identical = runs
+            .iter()
+            .all(|r| r.welfare_checksum.to_bits() == runs[0].welfare_checksum.to_bits());
+        for (ri, r) in runs.iter().enumerate() {
+            if ri == 0 {
+                print!("{:<6} {:>8} {:>7} {:>7} |", s.peers, s.helpers, s.actors(), s.epochs);
+            } else {
+                print!("{:<6} {:>8} {:>7} {:>7} |", "", "", "", "");
+            }
+            println!(
+                " {:>9} {:>8} {:>9.3} {:>14.0}",
+                r.backend, r.threads, r.secs, r.actors_per_sec
+            );
+        }
+        assert!(identical, "backends diverged at {} actors", s.actors());
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"peers\": {},", s.peers);
+        let _ = writeln!(json, "      \"helpers\": {},", s.helpers);
+        let _ = writeln!(json, "      \"actors\": {},", s.actors());
+        let _ = writeln!(json, "      \"epochs\": {},", s.epochs);
+        let _ = writeln!(json, "      \"identical_output\": {identical},");
+        let _ = writeln!(json, "      \"runs\": [");
+        for (ri, r) in runs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"backend\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \
+                 \"actors_per_sec\": {:.3}, \"welfare_checksum\": {:.6}}}{}",
+                r.backend,
+                r.threads,
+                r.secs,
+                r.actors_per_sec,
+                r.welfare_checksum,
+                if ri + 1 < runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "    }}{}", if si + 1 < scenarios.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = results_dir().join("BENCH_net.json");
+    let mut file = std::fs::File::create(&path).expect("can create BENCH_net.json");
+    file.write_all(json.as_bytes()).expect("can write BENCH_net.json");
+    println!("\nbackend outputs identical per scenario; json: {}", path.display());
+}

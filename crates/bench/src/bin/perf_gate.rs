@@ -1,0 +1,130 @@
+//! Perf regression gate: compares a fresh `BENCH_sim.json` against the
+//! committed baseline and fails on a large throughput drop.
+//!
+//! Usage: `perf_gate <baseline.json> <fresh.json>`
+//!
+//! * Scenarios are matched by `(engine, peers, helpers, channels)` and
+//!   compared per thread count on `epochs_per_sec`.
+//! * A drop of more than 30 % (override with
+//!   `RTHS_PERF_GATE_MAX_REGRESSION`, a fraction) on any matched run
+//!   fails the gate (exit 1).
+//! * When the two reports were produced on hosts with different core
+//!   counts the comparison is meaningless, so the gate **skips**
+//!   (exit 0) — the committed baseline encodes its `host_cores`.
+//! * Quick-grid and full-grid reports are also not comparable: the quick
+//!   grid runs 4× fewer epochs, so warm-up (scratch-buffer growth, page
+//!   faults) is amortized over less work and epochs/sec reads
+//!   systematically low. Mismatched `quick` flags therefore skip too —
+//!   the CI gate job runs the **full** grid against the full committed
+//!   baseline.
+
+use rths_bench::{parse_bench_sim, BenchSimReport};
+
+fn load(path: &str) -> BenchSimReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse_bench_sim(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "results/BENCH_sim.json".to_string());
+    let fresh_path = args.next().expect("usage: perf_gate <baseline.json> <fresh.json>");
+    let max_regression: f64 = std::env::var("RTHS_PERF_GATE_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+
+    let baseline = load(&baseline_path);
+    let fresh = load(&fresh_path);
+
+    println!(
+        "perf gate: baseline {baseline_path} ({} cores) vs fresh {fresh_path} ({} cores), \
+         threshold {:.0}%",
+        baseline.host_cores,
+        fresh.host_cores,
+        max_regression * 100.0
+    );
+    if baseline.host_cores != fresh.host_cores {
+        println!(
+            "SKIP: core count differs (baseline {}, fresh {}) — epochs/sec is not comparable \
+             across hosts; re-record the baseline on this machine to arm the gate",
+            baseline.host_cores, fresh.host_cores
+        );
+        return;
+    }
+    if baseline.quick != fresh.quick {
+        println!(
+            "SKIP: grid size differs (baseline quick={}, fresh quick={}) — the quick grid \
+             amortizes warm-up over 4x fewer epochs, so epochs/sec is not like-for-like; \
+             run both reports on the same grid",
+            baseline.quick, fresh.quick
+        );
+        return;
+    }
+
+    println!(
+        "\n{:<15} {:>6} {:>8} {:>9} {:>8} {:>14} {:>14} {:>9}",
+        "engine", "peers", "helpers", "channels", "threads", "base eps", "fresh eps", "ratio"
+    );
+    let mut compared = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for base_scenario in &baseline.scenarios {
+        let Some(fresh_scenario) =
+            fresh.scenarios.iter().find(|s| s.key() == base_scenario.key())
+        else {
+            println!(
+                "{:<15} {:>6} {:>8} {:>9}  (not in fresh report — skipped)",
+                base_scenario.engine,
+                base_scenario.peers,
+                base_scenario.helpers,
+                base_scenario.channels
+            );
+            continue;
+        };
+        for &(threads, base_eps) in &base_scenario.runs {
+            let Some(fresh_eps) = fresh_scenario.epochs_per_sec(threads) else {
+                continue;
+            };
+            let ratio = fresh_eps / base_eps.max(1e-12);
+            compared += 1;
+            let verdict = if ratio < 1.0 - max_regression { "FAIL" } else { "ok" };
+            println!(
+                "{:<15} {:>6} {:>8} {:>9} {:>8} {:>14.1} {:>14.1} {:>8.2}x {verdict}",
+                base_scenario.engine,
+                base_scenario.peers,
+                base_scenario.helpers,
+                base_scenario.channels,
+                threads,
+                base_eps,
+                fresh_eps,
+                ratio
+            );
+            if ratio < 1.0 - max_regression {
+                failures.push(format!(
+                    "{} peers={} threads={}: {:.1} -> {:.1} epochs/sec ({:.0}% drop)",
+                    base_scenario.engine,
+                    base_scenario.peers,
+                    threads,
+                    base_eps,
+                    fresh_eps,
+                    (1.0 - ratio) * 100.0
+                ));
+            }
+        }
+    }
+
+    if compared == 0 {
+        println!("\nSKIP: no comparable runs between the two reports");
+        return;
+    }
+    if failures.is_empty() {
+        println!("\nPASS: {compared} runs within {:.0}% of baseline", max_regression * 100.0);
+    } else {
+        println!("\nFAIL: {} of {compared} runs regressed past the threshold:", failures.len());
+        for f in &failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

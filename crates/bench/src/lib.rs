@@ -92,6 +92,125 @@ pub fn print_series(title: &str, header: (&str, &str), points: &[(usize, f64)]) 
     }
 }
 
+/// Parsed view of a `BENCH_sim.json` throughput report — enough structure
+/// for the perf regression gate to compare two reports scenario by
+/// scenario. The format is this workspace's own (written by the
+/// `bench_sim` binary), so a small line-oriented reader beats dragging a
+/// JSON dependency into the no-registry build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSimReport {
+    /// `available_parallelism` of the host that produced the report.
+    pub host_cores: usize,
+    /// Whether the quick (CI-sized) grid was used.
+    pub quick: bool,
+    /// One entry per grid point.
+    pub scenarios: Vec<BenchSimScenario>,
+}
+
+/// One grid point of a [`BenchSimReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSimScenario {
+    /// Engine name (`single_channel` / `multi_channel`).
+    pub engine: String,
+    /// Peer population.
+    pub peers: usize,
+    /// Helper count.
+    pub helpers: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// `(threads, epochs_per_sec)` per timed run.
+    pub runs: Vec<(usize, f64)>,
+}
+
+impl BenchSimScenario {
+    /// Stable identity of a grid point across reports.
+    pub fn key(&self) -> (String, usize, usize, usize) {
+        (self.engine.clone(), self.peers, self.helpers, self.channels)
+    }
+
+    /// Epochs/sec recorded at `threads`, if that run exists.
+    pub fn epochs_per_sec(&self, threads: usize) -> Option<f64> {
+        self.runs.iter().find(|(t, _)| *t == threads).map(|&(_, e)| e)
+    }
+}
+
+/// Extracts the number following `"key": ` on `line`, if present.
+fn json_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+fn json_usize(line: &str, key: &str) -> Option<usize> {
+    json_field(line, key)?.parse().ok()
+}
+
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    json_field(line, key)?.parse().ok()
+}
+
+/// Parses a `BENCH_sim.json` report.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (missing header
+/// fields or no scenarios).
+pub fn parse_bench_sim(text: &str) -> Result<BenchSimReport, String> {
+    let mut host_cores = None;
+    let mut quick = false;
+    let mut scenarios: Vec<BenchSimScenario> = Vec::new();
+    for line in text.lines() {
+        if host_cores.is_none() {
+            if let Some(cores) = json_usize(line, "host_cores") {
+                host_cores = Some(cores);
+            }
+        }
+        if let Some(q) = json_field(line, "quick") {
+            quick = q == "true";
+        }
+        if let Some(engine) = json_field(line, "engine") {
+            scenarios.push(BenchSimScenario {
+                engine,
+                peers: 0,
+                helpers: 0,
+                channels: 0,
+                runs: Vec::new(),
+            });
+        }
+        if let Some(current) = scenarios.last_mut() {
+            // `peers`/`helpers`/`channels` appear once per scenario, before
+            // the runs array; run lines carry `threads` + `epochs_per_sec`.
+            if let Some(threads) = json_usize(line, "threads") {
+                if let Some(eps) = json_f64(line, "epochs_per_sec") {
+                    current.runs.push((threads, eps));
+                    continue;
+                }
+            }
+            if current.runs.is_empty() {
+                if let Some(peers) = json_usize(line, "peers") {
+                    current.peers = peers;
+                }
+                if let Some(helpers) = json_usize(line, "helpers") {
+                    current.helpers = helpers;
+                }
+                if let Some(channels) = json_usize(line, "channels") {
+                    current.channels = channels;
+                }
+            }
+        }
+    }
+    let host_cores = host_cores.ok_or("missing host_cores field")?;
+    if scenarios.is_empty() {
+        return Err("no scenarios found".to_string());
+    }
+    if scenarios.iter().any(|s| s.runs.is_empty()) {
+        return Err("scenario without runs".to_string());
+    }
+    Ok(BenchSimReport { host_cores, quick, scenarios })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +228,57 @@ mod tests {
     fn mean_series_averages() {
         let m = mean_series(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(m, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn parses_the_bench_sim_format() {
+        let text = r#"{
+  "bench": "sim_scale_grid",
+  "host_cores": 4,
+  "quick": false,
+  "scenarios": [
+    {
+      "engine": "single_channel",
+      "peers": 200,
+      "helpers": 20,
+      "channels": 1,
+      "epochs": 600,
+      "identical_output": true,
+      "speedup_best": 1.0000,
+      "runs": [
+        {"threads": 1, "secs": 0.50, "epochs_per_sec": 1200.0, "welfare_checksum": 9599400.0},
+        {"threads": 2, "secs": 0.25, "epochs_per_sec": 2400.0, "welfare_checksum": 9599400.0}
+      ]
+    },
+    {
+      "engine": "multi_channel",
+      "peers": 2000,
+      "helpers": 48,
+      "channels": 16,
+      "epochs": 80,
+      "identical_output": true,
+      "speedup_best": 1.0,
+      "runs": [
+        {"threads": 1, "secs": 0.1, "epochs_per_sec": 800.0, "welfare_checksum": 1.0}
+      ]
+    }
+  ]
+}"#;
+        let report = parse_bench_sim(text).unwrap();
+        assert_eq!(report.host_cores, 4);
+        assert!(!report.quick);
+        assert_eq!(report.scenarios.len(), 2);
+        let first = &report.scenarios[0];
+        assert_eq!(first.key(), ("single_channel".to_string(), 200, 20, 1));
+        assert_eq!(first.epochs_per_sec(2), Some(2400.0));
+        assert_eq!(first.epochs_per_sec(8), None);
+        assert_eq!(report.scenarios[1].channels, 16);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_bench_sim("{}").is_err());
+        assert!(parse_bench_sim("{\"host_cores\": 2}").is_err());
     }
 
     #[test]

@@ -64,15 +64,28 @@ impl FaultPlan {
         (h as f64 / u64::MAX as f64) < self.loss
     }
 
+    /// The deterministic pseudo-random jitter drawn for `(actor, epoch)`,
+    /// in microseconds below `jitter_us` (0 when jitter is disabled).
+    ///
+    /// The threaded backend sleeps this long before processing a tick;
+    /// the reactor backend delays the tick's *delivery* by the same
+    /// number of logical ticks on its timer wheel. Either way the epoch
+    /// barrier absorbs it: jitter must never change results.
+    pub fn jitter_ticks(&self, actor: u64, epoch: u64) -> u64 {
+        if self.jitter_us == 0 {
+            return 0;
+        }
+        let h = derive_seed(self.seed ^ 0xDEAD_BEEF, derive_seed(actor, epoch));
+        h % self.jitter_us
+    }
+
     /// Sleeps a deterministic pseudo-random duration below `jitter_us`
     /// (no-op when jitter is disabled).
     pub fn apply_jitter(&self, actor: u64, epoch: u64) {
-        if self.jitter_us == 0 {
-            return;
+        let us = self.jitter_ticks(actor, epoch);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
         }
-        let h = derive_seed(self.seed ^ 0xDEAD_BEEF, derive_seed(actor, epoch));
-        let us = h % self.jitter_us.max(1);
-        std::thread::sleep(std::time::Duration::from_micros(us));
     }
 }
 

@@ -1,11 +1,11 @@
-//! Decentralized message-passing runtime for RTHS.
+//! Decentralized message-passing runtimes for RTHS.
 //!
 //! The simulator in `rths-sim` runs the whole system in one loop; this
 //! crate demonstrates the paper's *deployment claim* — "the dynamic helper
 //! selection strategies of each peer rely completely on the peer's local
 //! information, and therefore can be implemented in a fully distributed
 //! fashion" (§IV) — by running every **peer** and every **helper** as its
-//! own OS thread, communicating *only* through message channels:
+//! own actor, communicating *only* through messages:
 //!
 //! * peers learn which helpers exist from a [`tracker`] (the only
 //!   bootstrap service real systems have);
@@ -17,29 +17,51 @@
 //!   *observes* but never *instructs*: no assignment decision flows
 //!   downward.
 //!
+//! The protocol state machines live in [`machines`]; two interchangeable
+//! [`Backend`]s host them:
+//!
+//! * [`Backend::Threaded`] ([`runtime::NetRuntime`]) — one OS thread per
+//!   actor over real channels: the deployment-shaped proof, practical to
+//!   a few hundred actors;
+//! * [`Backend::Reactor`] ([`reactor_backend::ReactorRuntime`]) — every
+//!   actor as a poll-driven state machine on an `rths_reactor` event
+//!   loop: thousands of actors per thread, `FaultPlan` jitter mapped to
+//!   timer-wheel delays.
+//!
 //! Because the epoch protocol is a barrier and every actor owns a
-//! deterministic RNG stream, a fault-free run reproduces `rths_sim::System`
-//! **bit-for-bit** (asserted by integration tests), while the [`fault`]
-//! module can additionally drop data-plane deliveries and inject thread
-//! timing jitter to exercise the asynchronous paths.
+//! deterministic RNG stream, a fault-free run reproduces
+//! `rths_sim::System` **bit-for-bit on both backends** (asserted by the
+//! `sim_net_equivalence` integration test at several `RTHS_THREADS`
+//! settings), while the [`fault`] module can additionally drop data-plane
+//! deliveries and inject timing jitter to exercise the asynchronous
+//! paths.
 //!
 //! # Example
 //!
 //! ```
-//! use rths_net::{NetConfig, NetRuntime};
+//! use rths_net::{Backend, NetConfig};
 //! use rths_sim::Scenario;
 //!
 //! let sim = Scenario::paper_small().seed(11).build();
-//! let outcome = NetRuntime::new(NetConfig::from_sim(sim)).run(50);
-//! assert_eq!(outcome.epochs, 50);
+//! let threaded = rths_net::run(NetConfig::from_sim(sim.clone()), 50);
+//! let reactor =
+//!     rths_net::run(NetConfig::from_sim(sim).with_backend(Backend::Reactor), 50);
+//! assert_eq!(threaded.epochs, 50);
+//! assert_eq!(
+//!     threaded.metrics.welfare.values(),
+//!     reactor.metrics.welfare.values(),
+//! );
 //! ```
 
 pub mod fault;
+pub mod machines;
 pub mod message;
+pub mod reactor_backend;
 pub mod runtime;
 pub mod tracker;
 
 pub use fault::FaultPlan;
 pub use message::{CoordMsg, HelperMsg, PeerMsg};
-pub use runtime::{NetConfig, NetOutcome, NetRuntime};
+pub use reactor_backend::{NetActor, NetMsg, ReactorRuntime};
+pub use runtime::{run, Backend, MessageTotals, NetConfig, NetOutcome, NetRuntime};
 pub use tracker::Tracker;

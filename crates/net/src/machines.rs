@@ -1,0 +1,494 @@
+//! Transport-agnostic protocol state machines.
+//!
+//! The epoch protocol — tick, select, settle, observe — is one algorithm
+//! with two transports: the thread-per-actor runtime ([`crate::runtime`])
+//! and the reactor backend ([`crate::reactor_backend`]). Everything that
+//! determines *results* lives here, once: helper capacity dynamics, peer
+//! learning, demand capping, and the coordinator's metric arithmetic.
+//! The backends are thin shells that move these machines' inputs and
+//! outputs over channels or mailboxes, which is what makes the
+//! bit-for-bit equivalence test across backends structural rather than
+//! coincidental.
+
+use rths_sim::helper::{Helper, HelperId};
+use rths_sim::peer::{Peer, PeerId};
+use rths_sim::server::StreamingServer;
+use rths_sim::{SimConfig, SimMetrics};
+use rths_stoch::rng::entity_rng;
+
+use crate::fault::FaultPlan;
+
+/// Instantiates the helper set exactly as `rths_sim::System::new` does:
+/// processes drawn from the master RNG in helper-index order. Returns the
+/// helpers plus the summed minimum capacity (the Fig. 5 deficit bound).
+pub fn instantiate_helpers(sim: &SimConfig) -> (Vec<Helper>, f64) {
+    let mut master_rng = rths_stoch::rng::seeded_rng(sim.seed);
+    let mut min_total = 0.0;
+    let helpers: Vec<Helper> = sim
+        .helpers
+        .iter()
+        .enumerate()
+        .map(|(j, spec)| {
+            let helper = Helper::with_seed(
+                HelperId(j as u32),
+                spec.instantiate(&mut master_rng),
+                sim.seed,
+            );
+            min_total += helper.min_capacity();
+            helper
+        })
+        .collect();
+    (helpers, min_total)
+}
+
+/// Instantiates peer `id` exactly as `rths_sim::System::new` does (same
+/// learner spec, same per-entity RNG stream).
+pub fn instantiate_peer(sim: &SimConfig, id: u64, num_helpers: usize) -> Peer {
+    let learner = sim
+        .learner
+        .instantiate(num_helpers, sim.rate_scale())
+        .expect("learner spec validated by construction");
+    Peer::new(PeerId(id), learner, entity_rng(sim.seed, id), 0, 0)
+}
+
+/// What a peer decided this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// Chosen helper index.
+    pub helper: usize,
+    /// Data-plane fault: the request will connect but the payload is lost.
+    pub lost: bool,
+}
+
+/// The peer-side state machine: owns the learner, its RNG stream, and the
+/// demand cap. Feedback is strictly local — a rate per epoch.
+#[derive(Debug)]
+pub struct PeerMachine {
+    peer: Peer,
+    demand: Option<f64>,
+    faults: FaultPlan,
+}
+
+impl PeerMachine {
+    /// Wraps a live peer.
+    pub fn new(peer: Peer, demand: Option<f64>, faults: FaultPlan) -> Self {
+        Self { peer, demand, faults }
+    }
+
+    /// Builds the peer for `id` from the simulation config.
+    pub fn from_config(
+        sim: &SimConfig,
+        id: u64,
+        num_helpers: usize,
+        faults: FaultPlan,
+    ) -> Self {
+        Self::new(instantiate_peer(sim, id, num_helpers), sim.demand, faults)
+    }
+
+    /// Stable peer id.
+    pub fn id(&self) -> u64 {
+        self.peer.id().0
+    }
+
+    /// Epoch start: samples the learner and decides whether this epoch's
+    /// payload is lost (deterministic per `(peer, epoch)`).
+    pub fn on_tick(&mut self, epoch: u64) -> Selection {
+        let helper = self.peer.choose_helper();
+        let lost = self.faults.is_lost(self.peer.id().0, epoch);
+        Selection { helper, lost }
+    }
+
+    /// Delivers the raw rate from the helper; applies the demand cap,
+    /// feeds the learner, and returns the realized (observed) rate.
+    pub fn on_rate(&mut self, kbps: f64) -> f64 {
+        let (rate, satisfied) = match self.demand {
+            Some(d) => {
+                let r = kbps.min(d);
+                (r, r >= d - 1e-9)
+            }
+            None => (kbps, true),
+        };
+        self.peer.deliver(rate, satisfied);
+        rate
+    }
+
+    /// The wrapped peer (final reporting).
+    pub fn peer(&self) -> &Peer {
+        &self.peer
+    }
+
+    /// Unwraps the peer (final reporting).
+    pub fn into_peer(self) -> Peer {
+        self.peer
+    }
+}
+
+/// A helper's per-epoch settlement summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Settlement {
+    /// Number of connected peers this epoch.
+    pub load: usize,
+    /// Capacity this epoch (kbps; 0 while offline).
+    pub capacity: f64,
+}
+
+/// The helper-side state machine: a bandwidth process plus the even-split
+/// allocation over whatever requests arrived. Generic over a per-request
+/// attachment `T` so transports can stash a reply route (a channel sender
+/// for threads, nothing for the reactor, which addresses by peer id).
+#[derive(Debug)]
+pub struct HelperMachine<T = ()> {
+    helper: Helper,
+    pending: Vec<(u64, bool, T)>,
+}
+
+impl<T> HelperMachine<T> {
+    /// Wraps a live helper.
+    pub fn new(helper: Helper) -> Self {
+        Self { helper, pending: Vec::new() }
+    }
+
+    /// Epoch start: advances the private bandwidth process.
+    pub fn on_tick(&mut self) {
+        self.helper.step();
+    }
+
+    /// Records one streaming request for the current epoch.
+    pub fn on_request(&mut self, peer: u64, lost: bool, attachment: T) {
+        self.pending.push((peer, lost, attachment));
+    }
+
+    /// Settles the epoch: splits capacity over the recorded requests,
+    /// invoking `reply(peer, kbps, attachment)` per requester in arrival
+    /// order (0 kbps when the payload was lost), and returns the summary.
+    pub fn on_settle(&mut self, mut reply: impl FnMut(u64, f64, T)) -> Settlement {
+        let load = self.pending.len();
+        let share = self.helper.share(load);
+        for (peer, lost, attachment) in self.pending.drain(..) {
+            reply(peer, if lost { 0.0 } else { share }, attachment);
+        }
+        Settlement { load, capacity: self.helper.capacity() }
+    }
+
+    /// Availability change (failure injection).
+    pub fn set_online(&mut self, online: bool) {
+        self.helper.set_online(online);
+    }
+}
+
+/// Reusable per-epoch coordinator buffers — cleared and refilled in place
+/// so steady-state epochs allocate nothing (the same discipline
+/// `rths_sim::System` adopted for its engines).
+#[derive(Debug, Default)]
+struct CoordScratch {
+    /// Chosen helper per peer.
+    chosen: Vec<usize>,
+    /// Reported load per helper.
+    loads: Vec<usize>,
+    /// Reported capacity per helper.
+    capacities: Vec<f64>,
+    /// Observed (demand-capped) rate per peer.
+    rates: Vec<f64>,
+    /// Counterfactual join rate per helper.
+    join_rates: Vec<f64>,
+    /// Unmet demand per peer.
+    residuals: Vec<f64>,
+}
+
+/// The coordinator's state machine: an epoch-progress tracker plus the
+/// metric arithmetic of `rths_sim::System::step_epoch`, fed purely by
+/// observability-plane messages. It observes but never instructs — no
+/// assignment decision flows through it.
+#[derive(Debug)]
+pub struct CoordinatorMachine {
+    num_peers: usize,
+    num_helpers: usize,
+    demand: Option<f64>,
+    helper_min_total: f64,
+    epoch: u64,
+    metrics: SimMetrics,
+    server: StreamingServer,
+    /// Cumulative true-regret sums, laid out `peer·h² + played·h + alt`.
+    regret_sums: Vec<f64>,
+    last_helper: Vec<Option<usize>>,
+    scratch: CoordScratch,
+    selected: usize,
+    reports: usize,
+    observed: usize,
+}
+
+impl CoordinatorMachine {
+    /// Creates the coordinator for a fixed population.
+    pub fn new(sim: &SimConfig, helper_min_total: f64) -> Self {
+        let n = sim.num_peers;
+        let h = sim.helpers.len();
+        Self {
+            num_peers: n,
+            num_helpers: h,
+            demand: sim.demand,
+            helper_min_total,
+            epoch: 0,
+            metrics: SimMetrics::new(h),
+            server: StreamingServer::new(),
+            regret_sums: vec![0.0; n * h * h],
+            last_helper: vec![None; n],
+            scratch: CoordScratch::default(),
+            selected: 0,
+            reports: 0,
+            observed: 0,
+        }
+    }
+
+    /// Epoch about to run (0-based).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs_done(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Resets per-epoch progress and scratch (no allocation in steady
+    /// state: buffers retain their capacity across epochs).
+    pub fn begin_epoch(&mut self) {
+        let CoordScratch { chosen, loads, capacities, rates, join_rates, residuals } =
+            &mut self.scratch;
+        chosen.clear();
+        chosen.resize(self.num_peers, 0);
+        loads.clear();
+        loads.resize(self.num_helpers, 0);
+        capacities.clear();
+        capacities.resize(self.num_helpers, 0.0);
+        rates.clear();
+        rates.resize(self.num_peers, 0.0);
+        join_rates.clear();
+        residuals.clear();
+        self.selected = 0;
+        self.reports = 0;
+        self.observed = 0;
+    }
+
+    /// A peer committed to a helper.
+    pub fn on_selected(&mut self, peer: u64, helper: usize) {
+        self.scratch.chosen[peer as usize] = helper;
+        self.selected += 1;
+    }
+
+    /// All peers have committed — helpers may settle.
+    pub fn settle_ready(&self) -> bool {
+        self.selected == self.num_peers
+    }
+
+    /// A helper settled the epoch.
+    pub fn on_helper_report(&mut self, helper: usize, load: usize, capacity: f64) {
+        self.scratch.loads[helper] = load;
+        self.scratch.capacities[helper] = capacity;
+        self.reports += 1;
+    }
+
+    /// A peer observed its realized rate.
+    pub fn on_observed(&mut self, peer: u64, rate: f64) {
+        self.scratch.rates[peer as usize] = rate;
+        self.observed += 1;
+    }
+
+    /// Every report and observation for the epoch is in.
+    pub fn epoch_complete(&self) -> bool {
+        self.reports == self.num_helpers && self.observed == self.num_peers
+    }
+
+    /// Records the epoch's metrics — mirroring
+    /// `rths_sim::System::step_epoch` arithmetic exactly, in the same
+    /// index-ordered float reduction order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epoch is not [`complete`](Self::epoch_complete).
+    pub fn finish_epoch(&mut self) {
+        assert!(self.epoch_complete(), "finish_epoch before all reports arrived");
+        let n = self.num_peers;
+        let h = self.num_helpers;
+        let demand = self.demand;
+        let epoch = self.epoch;
+        let CoordScratch { chosen, loads, capacities, rates, join_rates, residuals } =
+            &mut self.scratch;
+
+        join_rates.extend((0..h).map(|j| {
+            let raw = capacities[j] / (loads[j] + 1) as f64;
+            match demand {
+                Some(d) => raw.min(d),
+                None => raw,
+            }
+        }));
+        let mut welfare = 0.0;
+        for i in 0..n {
+            let a = chosen[i];
+            let rate = rates[i];
+            welfare += rate;
+            residuals.push(match demand {
+                Some(d) => (d - rate).max(0.0),
+                None => 0.0,
+            });
+            let base = i * h * h + a * h;
+            for (k, &jr) in join_rates.iter().enumerate() {
+                if k != a {
+                    self.regret_sums[base + k] += jr - rate;
+                }
+            }
+        }
+        let total_demand = demand.unwrap_or(0.0) * n as f64;
+        let helper_now: f64 = capacities.iter().sum();
+        let server_epoch = self.server.settle_epoch(
+            residuals,
+            total_demand,
+            self.helper_min_total,
+            helper_now,
+        );
+
+        self.metrics.welfare.push(welfare);
+        self.metrics.server_load.push(server_epoch.load);
+        self.metrics.min_deficit.push(server_epoch.min_deficit);
+        self.metrics.current_deficit.push(server_epoch.current_deficit);
+        self.metrics.population.push(n as f64);
+        self.metrics.jain.push(rths_math::stats::jain_index(rates));
+        // Internal learner regrets live inside the peers; the coordinator
+        // reports only the empirical series (estimated series is filled
+        // with the empirical value so downstream plots stay aligned).
+        let max_sum = self.regret_sums.iter().copied().fold(0.0f64, f64::max);
+        let emp = max_sum / (epoch + 1) as f64;
+        self.metrics.worst_empirical_regret.push(emp);
+        self.metrics.worst_regret_estimate.push(emp);
+        let mut switched = 0usize;
+        for (last, &now) in self.last_helper.iter_mut().zip(chosen.iter()) {
+            if let Some(prev) = *last {
+                if prev != now {
+                    switched += 1;
+                }
+            }
+            *last = Some(now);
+        }
+        self.metrics.switches.push(switched as f64);
+        for (series, &l) in self.metrics.helper_loads.iter_mut().zip(loads.iter()) {
+            series.push(l as f64);
+        }
+        self.epoch += 1;
+    }
+
+    /// Final summaries from the peers' own accounting, producing the same
+    /// metric bundle the simulator returns.
+    pub fn finalize(mut self, peers: &[Peer]) -> (SimMetrics, Vec<f64>, Vec<f64>) {
+        let denom = self.epoch.max(1) as f64;
+        self.metrics.mean_helper_loads = self
+            .metrics
+            .helper_loads
+            .iter()
+            .map(|s| s.values().iter().sum::<f64>() / denom)
+            .collect();
+        self.metrics.mean_peer_rates = peers.iter().map(Peer::mean_rate).collect();
+        self.metrics.peer_continuity = peers.iter().map(Peer::continuity).collect();
+        let rates = self.metrics.mean_peer_rates.clone();
+        let continuity = self.metrics.peer_continuity.clone();
+        (self.metrics, rates, continuity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rths_sim::{BandwidthSpec, Scenario, SimConfig};
+
+    fn small_sim() -> SimConfig {
+        SimConfig::builder(4, vec![BandwidthSpec::Constant(800.0); 2]).seed(3).build()
+    }
+
+    #[test]
+    fn helpers_instantiate_in_sim_order() {
+        let sim = Scenario::paper_small().seed(11).build();
+        let (helpers, min_total) = instantiate_helpers(&sim);
+        assert_eq!(helpers.len(), sim.helpers.len());
+        let expected: f64 = helpers.iter().map(Helper::min_capacity).sum();
+        assert_eq!(min_total, expected);
+    }
+
+    #[test]
+    fn peer_machine_caps_demand_and_feeds_learner() {
+        let sim = SimConfig::builder(2, vec![BandwidthSpec::Constant(800.0); 2])
+            .demand(300.0)
+            .seed(1)
+            .build();
+        let mut m = PeerMachine::from_config(&sim, 0, 2, FaultPlan::none());
+        let sel = m.on_tick(0);
+        assert!(sel.helper < 2);
+        assert!(!sel.lost);
+        assert_eq!(m.on_rate(800.0), 300.0);
+        assert_eq!(m.peer().mean_rate(), 300.0);
+        assert_eq!(m.peer().continuity(), 1.0);
+        // Under the cap: unsatisfied epoch.
+        let _ = m.on_tick(1);
+        assert_eq!(m.on_rate(100.0), 100.0);
+        assert_eq!(m.into_peer().continuity(), 0.5);
+    }
+
+    #[test]
+    fn peer_machine_marks_lost_epochs() {
+        let sim = small_sim();
+        let mut m = PeerMachine::from_config(&sim, 1, 2, FaultPlan::with_loss(1.0, 9));
+        assert!(m.on_tick(0).lost);
+    }
+
+    #[test]
+    fn helper_machine_splits_capacity_in_arrival_order() {
+        let (helpers, _) = instantiate_helpers(&small_sim());
+        let mut m: HelperMachine<&str> =
+            HelperMachine::new(helpers.into_iter().next().unwrap());
+        m.on_tick();
+        m.on_request(7, false, "a");
+        m.on_request(3, true, "b");
+        let mut replies = Vec::new();
+        let settlement = m.on_settle(|peer, kbps, tag| replies.push((peer, kbps, tag)));
+        assert_eq!(settlement.load, 2);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].0, 7);
+        assert_eq!(replies[0].1, 400.0);
+        // Lost payload: connection counted, rate zero.
+        assert_eq!(replies[1], (3, 0.0, "b"));
+        // Next epoch starts empty.
+        let empty = m.on_settle(|_, _, _| panic!("no pending requests"));
+        assert_eq!(empty.load, 0);
+    }
+
+    #[test]
+    fn coordinator_tracks_epoch_progress() {
+        let sim = small_sim();
+        let mut c = CoordinatorMachine::new(&sim, 1600.0);
+        c.begin_epoch();
+        assert!(!c.settle_ready());
+        for p in 0..4 {
+            c.on_selected(p, (p % 2) as usize);
+        }
+        assert!(c.settle_ready());
+        assert!(!c.epoch_complete());
+        c.on_helper_report(0, 2, 800.0);
+        c.on_helper_report(1, 2, 800.0);
+        for p in 0..4 {
+            c.on_observed(p, 400.0);
+        }
+        assert!(c.epoch_complete());
+        c.finish_epoch();
+        assert_eq!(c.epochs_done(), 1);
+        let (metrics, rates, continuity) = c.finalize(&[]);
+        assert_eq!(metrics.welfare.values(), &[1600.0]);
+        assert_eq!(metrics.helper_loads[0].values(), &[2.0]);
+        assert!(rates.is_empty() && continuity.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finish_epoch before all reports")]
+    fn premature_finish_panics() {
+        let sim = small_sim();
+        let mut c = CoordinatorMachine::new(&sim, 0.0);
+        c.begin_epoch();
+        c.finish_epoch();
+    }
+}

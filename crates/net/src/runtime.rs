@@ -1,7 +1,7 @@
-//! The threaded actor runtime.
+//! Backend selection and the thread-per-actor runtime.
 //!
-//! Topology: one thread per helper, one thread per peer, and the calling
-//! thread as coordinator. Per epoch the coordinator:
+//! Topology of the threaded backend: one OS thread per helper, one per
+//! peer, and the calling thread as coordinator. Per epoch the coordinator:
 //!
 //! 1. `Tick`s every helper (it steps its private bandwidth process) and
 //!    every peer (it samples its learner and sends one `Request`);
@@ -12,51 +12,69 @@
 //!    `Observed`, then records the same metrics `rths_sim::System`
 //!    records.
 //!
-//! Peer learning happens **inside the peer thread** with nothing but the
+//! The protocol logic itself lives in [`crate::machines`]; the thread
+//! bodies here only move machine inputs and outputs over channels. Peer
+//! learning happens **inside the peer thread** with nothing but the
 //! received rate — the coordinator only aggregates for reporting. With
-//! faults disabled the run is bit-identical to the simulator; see the
-//! `sim_net_equivalence` integration test.
+//! faults disabled a run is bit-identical to the simulator *and* to the
+//! [`Backend::Reactor`] event-loop backend; see the `sim_net_equivalence`
+//! integration test.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use rths_sim::helper::{Helper, HelperId};
-use rths_sim::peer::{Peer, PeerId};
-use rths_sim::server::StreamingServer;
+use rths_sim::peer::Peer;
 use rths_sim::SimConfig;
 use rths_sim::SimMetrics;
-use rths_stoch::rng::entity_rng;
 
 use crate::fault::FaultPlan;
+use crate::machines::{instantiate_helpers, CoordinatorMachine, HelperMachine, PeerMachine};
 use crate::message::{CoordMsg, HelperMsg, PeerMsg};
 use crate::tracker::Tracker;
+
+/// Which runtime hosts the actor mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One OS thread per actor ([`NetRuntime`]) — the deployment-shaped
+    /// proof, capped at a few hundred actors. **Default.**
+    #[default]
+    Threaded,
+    /// The event-loop runtime
+    /// ([`ReactorRuntime`](crate::reactor_backend::ReactorRuntime)):
+    /// thousands of poll-driven actors per thread, bit-equivalent to both
+    /// the threaded backend and the simulator.
+    Reactor,
+}
 
 /// Configuration of a decentralized run.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
-    /// The underlying system configuration (must be churn-free: thread
+    /// The underlying system configuration (must be churn-free: actor
     /// population is fixed at startup).
     pub sim: SimConfig,
     /// Fault plan (loss / jitter).
     pub faults: FaultPlan,
+    /// Hosting runtime.
+    pub backend: Backend,
 }
 
 impl NetConfig {
-    /// Wraps a simulator configuration with no faults.
+    /// Wraps a simulator configuration with no faults on the default
+    /// (threaded) backend.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has churn enabled — the threaded
-    /// runtime keeps a fixed actor population (dynamic membership is the
+    /// Panics if the configuration has churn enabled — the decentralized
+    /// runtimes keep a fixed actor population (dynamic membership is the
     /// simulator's job).
     pub fn from_sim(sim: SimConfig) -> Self {
         assert!(
             sim.churn.arrival_rate() == 0.0 && sim.churn.departure_prob() == 0.0,
-            "the threaded runtime requires a churn-free configuration"
+            "the decentralized runtimes require a churn-free configuration"
         );
-        Self { sim, faults: FaultPlan::none() }
+        Self { sim, faults: FaultPlan::none(), backend: Backend::default() }
     }
 
     /// Adds a fault plan.
@@ -65,11 +83,29 @@ impl NetConfig {
         self.faults = faults;
         self
     }
+
+    /// Selects the hosting backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// Runs `epochs` epochs on the backend named by `config.backend` and
+/// returns the outcome. The entry point backend-agnostic callers (tests,
+/// benches, examples) should use.
+pub fn run(config: NetConfig, epochs: u64) -> NetOutcome {
+    match config.backend {
+        Backend::Threaded => NetRuntime::new(config).run(epochs),
+        Backend::Reactor => crate::reactor_backend::ReactorRuntime::new(config).run(epochs),
+    }
 }
 
 /// Message-overhead accounting — evidence for the paper's "low
 /// implementation complexity and low communication overhead" claim.
-/// Counted at every send site across all actors.
+/// Counted at every protocol send site across all actors (bootstrap
+/// traffic excluded), so both backends report identical totals.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MessageTotals {
     /// Control-plane messages: ticks, requests, settles, coordinator
@@ -129,29 +165,23 @@ pub struct NetOutcome {
     pub messages: MessageTotals,
 }
 
-/// The runtime: spawns actors on construction, runs epochs on demand, and
-/// joins all threads on [`run`](Self::run) completion.
+/// The thread-per-actor runtime: spawns actors on construction, runs
+/// epochs on demand, and joins all threads on [`run`](Self::run)
+/// completion.
 pub struct NetRuntime {
-    config: NetConfig,
     tracker: Tracker,
     peer_endpoints: Vec<Sender<PeerMsg>>,
     helper_handles: Vec<JoinHandle<()>>,
     peer_handles: Vec<JoinHandle<Peer>>,
     coord_rx: Receiver<CoordMsg>,
-    epoch: u64,
-    metrics: SimMetrics,
-    server: StreamingServer,
-    // Coordinator-side bookkeeping for true regrets and switches.
-    regret_sums: Vec<f64>,
-    last_helper: Vec<Option<usize>>,
-    helper_min_total: f64,
+    coord: CoordinatorMachine,
     counters: Arc<MessageCounters>,
 }
 
 impl std::fmt::Debug for NetRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetRuntime")
-            .field("epoch", &self.epoch)
+            .field("epoch", &self.coord.epochs_done())
             .field("peers", &self.peer_endpoints.len())
             .field("helpers", &self.tracker.num_helpers())
             .finish()
@@ -162,7 +192,6 @@ impl NetRuntime {
     /// Spawns the actor mesh described by `config`.
     pub fn new(config: NetConfig) -> Self {
         let sim = &config.sim;
-        let mut master_rng = rths_stoch::rng::seeded_rng(sim.seed);
         let (coord_tx, coord_rx) = unbounded::<CoordMsg>();
         let mut tracker = Tracker::new();
         let mut helper_handles = Vec::new();
@@ -171,57 +200,41 @@ impl NetRuntime {
 
         // Helper actors. Processes are instantiated from the master RNG in
         // helper order — the exact construction sequence of rths_sim.
-        let mut helper_min_total = 0.0;
-        for (j, spec) in sim.helpers.iter().enumerate() {
-            let process = spec.instantiate(&mut master_rng);
-            let helper = Helper::with_seed(HelperId(j as u32), process, sim.seed);
-            helper_min_total += helper.min_capacity();
+        let (helpers, helper_min_total) = instantiate_helpers(sim);
+        for (j, helper) in helpers.into_iter().enumerate() {
+            let machine: HelperMachine<Sender<PeerMsg>> = HelperMachine::new(helper);
             let (tx, rx) = unbounded::<HelperMsg>();
             tracker.register_helper(tx);
             let coord = coord_tx.clone();
             let counters_h = Arc::clone(&counters);
             helper_handles.push(std::thread::spawn(move || {
-                helper_actor(helper, j, rx, coord, faults, counters_h);
+                helper_actor(machine, j, rx, coord, faults, counters_h);
             }));
         }
 
         // Peer actors.
-        let rate_scale = sim.rate_scale();
         let mut peer_endpoints = Vec::new();
         let mut peer_handles = Vec::new();
         for id in 0..sim.num_peers as u64 {
-            let learner = sim
-                .learner
-                .instantiate(tracker.num_helpers(), rate_scale)
-                .expect("learner spec validated by construction");
-            let rng = entity_rng(sim.seed, id);
-            let peer = Peer::new(PeerId(id), learner, rng, 0, 0);
+            let machine = PeerMachine::from_config(sim, id, tracker.num_helpers(), faults);
             let (tx, rx) = unbounded::<PeerMsg>();
             peer_endpoints.push(tx.clone());
             let helpers = tracker.bootstrap();
             let coord = coord_tx.clone();
-            let demand = sim.demand;
             let counters_p = Arc::clone(&counters);
             peer_handles.push(std::thread::spawn(move || {
-                peer_actor(peer, id, tx, rx, helpers, coord, demand, faults, counters_p)
+                peer_actor(machine, tx, rx, helpers, coord, faults, counters_p)
             }));
         }
 
-        let h = tracker.num_helpers();
-        let n = sim.num_peers;
+        let coord = CoordinatorMachine::new(sim, helper_min_total);
         Self {
-            config,
             tracker,
             peer_endpoints,
             helper_handles,
             peer_handles,
             coord_rx,
-            epoch: 0,
-            metrics: SimMetrics::new(h),
-            server: StreamingServer::new(),
-            regret_sums: vec![0.0; n * h * h],
-            last_helper: vec![None; n],
-            helper_min_total,
+            coord,
             counters,
         }
     }
@@ -259,19 +272,12 @@ impl NetRuntime {
             handle.join().expect("helper thread panicked");
         }
 
-        let mut metrics = self.metrics;
-        let denom = self.epoch.max(1) as f64;
-        metrics.mean_helper_loads = metrics
-            .helper_loads
-            .iter()
-            .map(|s| s.values().iter().sum::<f64>() / denom)
-            .collect();
-        metrics.mean_peer_rates = peers.iter().map(Peer::mean_rate).collect();
-        metrics.peer_continuity = peers.iter().map(Peer::continuity).collect();
+        let epochs_done = self.coord.epochs_done();
+        let (metrics, peer_mean_rates, peer_continuity) = self.coord.finalize(&peers);
         NetOutcome {
-            epochs: self.epoch,
-            peer_mean_rates: peers.iter().map(Peer::mean_rate).collect(),
-            peer_continuity: peers.iter().map(Peer::continuity).collect(),
+            epochs: epochs_done,
+            peer_mean_rates,
+            peer_continuity,
             metrics,
             messages: self.counters.totals(),
         }
@@ -279,8 +285,8 @@ impl NetRuntime {
 
     fn step_epoch(&mut self) {
         let h = self.tracker.num_helpers();
-        let n = self.peer_endpoints.len();
-        let epoch = self.epoch;
+        let epoch = self.coord.epoch();
+        self.coord.begin_epoch();
 
         for j in 0..h {
             self.counters.control();
@@ -292,14 +298,11 @@ impl NetRuntime {
         }
 
         // Phase 1: all peers commit.
-        let mut chosen = vec![0usize; n];
-        let mut selected = 0usize;
-        while selected < n {
+        while !self.coord.settle_ready() {
             match self.coord_rx.recv().expect("actors alive") {
                 CoordMsg::Selected { peer, helper, epoch: e } => {
                     debug_assert_eq!(e, epoch);
-                    chosen[peer as usize] = helper;
-                    selected += 1;
+                    self.coord.on_selected(peer, helper);
                 }
                 other => unreachable!("unexpected message in selection phase: {other:?}"),
             }
@@ -313,185 +316,98 @@ impl NetRuntime {
                 .send(HelperMsg::Settle { epoch })
                 .expect("helper actor alive");
         }
-        let mut loads = vec![0usize; h];
-        let mut capacities = vec![0.0f64; h];
-        let mut rates = vec![0.0f64; n];
-        let mut reports = 0usize;
-        let mut observed = 0usize;
-        while reports < h || observed < n {
+        while !self.coord.epoch_complete() {
             match self.coord_rx.recv().expect("actors alive") {
                 CoordMsg::HelperReport { helper, load, capacity, epoch: e } => {
                     debug_assert_eq!(e, epoch);
-                    loads[helper] = load;
-                    capacities[helper] = capacity;
-                    reports += 1;
+                    self.coord.on_helper_report(helper, load, capacity);
                 }
                 CoordMsg::Observed { peer, rate, epoch: e } => {
                     debug_assert_eq!(e, epoch);
-                    rates[peer as usize] = rate;
-                    observed += 1;
+                    self.coord.on_observed(peer, rate);
                 }
                 other => unreachable!("unexpected message in settle phase: {other:?}"),
             }
         }
-
-        // Metrics — mirroring rths_sim::System::step_epoch exactly.
-        let demand = self.config.sim.demand;
-        let join_rates: Vec<f64> = (0..h)
-            .map(|j| {
-                let raw = capacities[j] / (loads[j] + 1) as f64;
-                match demand {
-                    Some(d) => raw.min(d),
-                    None => raw,
-                }
-            })
-            .collect();
-        let mut welfare = 0.0;
-        let mut residuals = Vec::with_capacity(n);
-        for i in 0..n {
-            let a = chosen[i];
-            let rate = rates[i];
-            welfare += rate;
-            residuals.push(match demand {
-                Some(d) => (d - rate).max(0.0),
-                None => 0.0,
-            });
-            let base = i * h * h + a * h;
-            for (k, &jr) in join_rates.iter().enumerate() {
-                if k != a {
-                    self.regret_sums[base + k] += jr - rate;
-                }
-            }
-        }
-        let total_demand = demand.unwrap_or(0.0) * n as f64;
-        let helper_now: f64 = capacities.iter().sum();
-        let server_epoch = self.server.settle_epoch(
-            &residuals,
-            total_demand,
-            self.helper_min_total,
-            helper_now,
-        );
-
-        self.metrics.welfare.push(welfare);
-        self.metrics.server_load.push(server_epoch.load);
-        self.metrics.min_deficit.push(server_epoch.min_deficit);
-        self.metrics.current_deficit.push(server_epoch.current_deficit);
-        self.metrics.population.push(n as f64);
-        self.metrics.jain.push(rths_math::stats::jain_index(&rates));
-        // Internal learner regrets live in peer threads; the coordinator
-        // reports only the empirical series (estimated series is filled
-        // with the empirical value so downstream plots stay aligned).
-        let max_sum = self.regret_sums.iter().copied().fold(0.0f64, f64::max);
-        let emp = max_sum / (epoch + 1) as f64;
-        self.metrics.worst_empirical_regret.push(emp);
-        self.metrics.worst_regret_estimate.push(emp);
-        let mut switched = 0usize;
-        for (last, &now) in self.last_helper.iter_mut().zip(&chosen) {
-            if let Some(prev) = *last {
-                if prev != now {
-                    switched += 1;
-                }
-            }
-            *last = Some(now);
-        }
-        self.metrics.switches.push(switched as f64);
-        for (series, &l) in self.metrics.helper_loads.iter_mut().zip(&loads) {
-            series.push(l as f64);
-        }
-        self.epoch += 1;
+        self.coord.finish_epoch();
     }
 }
 
-/// Helper actor body.
+/// Helper actor body: a [`HelperMachine`] whose per-request attachment is
+/// the requester's reply channel.
 fn helper_actor(
-    mut helper: Helper,
+    mut machine: HelperMachine<Sender<PeerMsg>>,
     index: usize,
     inbox: Receiver<HelperMsg>,
     coord: Sender<CoordMsg>,
     faults: FaultPlan,
     counters: Arc<MessageCounters>,
 ) {
-    let mut pending: Vec<(u64, Sender<PeerMsg>, bool)> = Vec::new();
     while let Ok(msg) = inbox.recv() {
         match msg {
             HelperMsg::Tick { epoch } => {
                 faults.apply_jitter(0x4000_0000 + index as u64, epoch);
-                helper.step();
+                machine.on_tick();
             }
             HelperMsg::Request { peer, epoch: _, reply, lost } => {
-                pending.push((peer, reply, lost));
+                machine.on_request(peer, lost, reply);
             }
             HelperMsg::Settle { epoch } => {
-                let load = pending.len();
-                let share = helper.share(load);
-                for (_peer, reply, lost) in pending.drain(..) {
-                    let kbps = if lost { 0.0 } else { share };
+                let settlement = machine.on_settle(|_peer, kbps, reply| {
                     counters.data();
                     // A dead peer endpoint is not our problem (shutdown
                     // race) — ignore send failures.
                     let _ = reply.send(PeerMsg::Rate { epoch, kbps });
-                }
+                });
                 counters.control();
                 coord
                     .send(CoordMsg::HelperReport {
                         helper: index,
                         epoch,
-                        load,
-                        capacity: helper.capacity(),
+                        load: settlement.load,
+                        capacity: settlement.capacity,
                     })
                     .expect("coordinator alive");
             }
-            HelperMsg::SetOnline(online) => helper.set_online(online),
+            HelperMsg::SetOnline(online) => machine.set_online(online),
             HelperMsg::Shutdown => break,
         }
     }
 }
 
-/// Peer actor body. Returns the peer state for final reporting.
-#[allow(clippy::too_many_arguments)]
+/// Peer actor body: a [`PeerMachine`] plus the channel plumbing. Returns
+/// the peer state for final reporting.
 fn peer_actor(
-    mut peer: Peer,
-    id: u64,
-    _self_tx: Sender<PeerMsg>,
+    mut machine: PeerMachine,
+    self_tx: Sender<PeerMsg>,
     inbox: Receiver<PeerMsg>,
     helpers: Vec<Sender<HelperMsg>>,
     coord: Sender<CoordMsg>,
-    demand: Option<f64>,
     faults: FaultPlan,
     counters: Arc<MessageCounters>,
 ) -> Peer {
-    // The peer re-attaches its own endpoint to each request; keep one
-    // clone for that purpose.
-    let self_endpoint = _self_tx;
+    let id = machine.id();
     while let Ok(msg) = inbox.recv() {
         match msg {
             PeerMsg::Tick { epoch } => {
                 faults.apply_jitter(id, epoch);
-                let a = peer.choose_helper();
-                let lost = faults.is_lost(id, epoch);
+                let selection = machine.on_tick(epoch);
                 counters.control();
-                helpers[a]
+                helpers[selection.helper]
                     .send(HelperMsg::Request {
                         peer: id,
                         epoch,
-                        reply: self_endpoint.clone(),
-                        lost,
+                        reply: self_tx.clone(),
+                        lost: selection.lost,
                     })
                     .expect("helper actor alive");
                 counters.control();
                 coord
-                    .send(CoordMsg::Selected { peer: id, epoch, helper: a })
+                    .send(CoordMsg::Selected { peer: id, epoch, helper: selection.helper })
                     .expect("coordinator alive");
             }
             PeerMsg::Rate { epoch, kbps } => {
-                let (rate, satisfied) = match demand {
-                    Some(d) => {
-                        let r = kbps.min(d);
-                        (r, r >= d - 1e-9)
-                    }
-                    None => (kbps, true),
-                };
-                peer.deliver(rate, satisfied);
+                let rate = machine.on_rate(kbps);
                 counters.control();
                 coord
                     .send(CoordMsg::Observed { peer: id, epoch, rate })
@@ -500,7 +416,7 @@ fn peer_actor(
             PeerMsg::Shutdown => break,
         }
     }
-    peer
+    machine.into_peer()
 }
 
 #[cfg(test)]
@@ -590,6 +506,20 @@ mod tests {
         assert_eq!(out.messages.control, expected_control as u64);
         let per_peer = out.messages.per_peer_per_epoch(10, 100);
         assert!(per_peer < 7.0, "overhead {per_peer} messages/peer/epoch");
+    }
+
+    #[test]
+    fn backend_dispatcher_routes_both_ways() {
+        let sim = Scenario::paper_small().seed(21).build();
+        let threaded = run(NetConfig::from_sim(sim.clone()), 40);
+        let reactor = run(NetConfig::from_sim(sim).with_backend(Backend::Reactor), 40);
+        assert_eq!(threaded.epochs, reactor.epochs);
+        assert_eq!(
+            threaded.metrics.welfare.values(),
+            reactor.metrics.welfare.values(),
+            "backends diverged"
+        );
+        assert_eq!(threaded.messages, reactor.messages, "message accounting diverged");
     }
 
     #[test]

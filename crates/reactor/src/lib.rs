@@ -1,0 +1,67 @@
+//! Deterministic event-loop actor runtime for RTHS.
+//!
+//! `rths_net`'s original runtime proves the paper's deployment claim with
+//! one OS thread per peer/helper, which caps demonstrable populations at a
+//! few hundred actors. This crate hosts **thousands of actors per thread**
+//! instead: every peer, helper, tracker, and coordinator becomes a
+//! poll-driven state machine implementing [`Actor`], scheduled by a
+//! [`Reactor`] that owns their mailboxes and a logical-time [`TimerWheel`].
+//! No actor ever blocks; the only OS threads are the optional `rths_par`
+//! workers the reactor shards rounds across.
+//!
+//! # Execution model
+//!
+//! The reactor executes **rounds**. In one round, every actor with a
+//! non-empty mailbox drains it, handling each message with
+//! [`Actor::on_message`]. Outgoing sends made through [`Ctx`] are *not*
+//! delivered immediately — they are buffered per sender and merged into the
+//! destination mailboxes **in sender-index order** after the round. When no
+//! mailbox has messages, logical time jumps to the next [`TimerWheel`]
+//! deadline and the due timer messages are delivered, in schedule order.
+//! [`Reactor::run_until_idle`] repeats this until there are neither
+//! messages nor timers left.
+//!
+//! # Determinism contract
+//!
+//! Delivery order is a pure function of the actor graph: sender index,
+//! per-sender send order, and timer schedule order. Because the merge is
+//! index-ordered, sharding a round's actor processing across `RTHS_THREADS`
+//! workers (via [`rths_par::par_chunks_mut`]) cannot reorder anything —
+//! a run is **bit-for-bit identical at any worker count**, which is what
+//! lets `rths_net`'s reactor backend reproduce both the simulator and the
+//! thread-per-actor backend exactly (see `tests/sim_net_equivalence.rs` in
+//! the workspace root).
+//!
+//! # Example
+//!
+//! ```
+//! use rths_reactor::{Actor, ActorId, Ctx, Reactor};
+//!
+//! struct Counter {
+//!     seen: u64,
+//! }
+//!
+//! impl Actor for Counter {
+//!     type Msg = u64;
+//!     fn on_message(&mut self, msg: u64, ctx: &mut Ctx<'_, u64>) {
+//!         self.seen += msg;
+//!         if msg > 1 {
+//!             // Halve and echo to ourselves one logical tick later.
+//!             ctx.send_after(1, ctx.me(), msg / 2);
+//!         }
+//!     }
+//! }
+//!
+//! let mut reactor = Reactor::new();
+//! let id = reactor.add_actor(Counter { seen: 0 });
+//! reactor.inject(id, 8);
+//! reactor.run_until_idle();
+//! assert_eq!(reactor.actor(id).seen, 8 + 4 + 2 + 1);
+//! assert_eq!(reactor.now(), 3); // three timer hops
+//! ```
+
+mod reactor;
+mod wheel;
+
+pub use reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats};
+pub use wheel::TimerWheel;

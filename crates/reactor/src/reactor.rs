@@ -1,0 +1,469 @@
+//! The reactor: actors, mailboxes, and the round scheduler.
+
+use std::collections::VecDeque;
+
+use crate::wheel::TimerWheel;
+
+/// Index of an actor inside a [`Reactor`] — assigned densely by
+/// [`Reactor::add_actor`] and used as the message address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor-{}", self.0)
+    }
+}
+
+/// A poll-driven state machine hosted by a [`Reactor`].
+///
+/// Actors never block and never share state: all interaction goes through
+/// messages. `Send` is required because the reactor may shard a round's
+/// processing across `rths_par` workers.
+pub trait Actor: Send {
+    /// The message type this actor exchanges (one type per reactor; use an
+    /// enum to multiplex roles).
+    type Msg: Send;
+
+    /// Handles one delivered message. Outgoing sends and timers go through
+    /// `ctx` and take effect after the current round.
+    fn on_message(&mut self, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+}
+
+/// Per-delivery handle an actor uses to send messages and schedule timers.
+///
+/// Sends are buffered per sender and merged into destination mailboxes in
+/// sender-index order after the round — never delivered re-entrantly — so
+/// handling stays deterministic at any worker count.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    now: u64,
+    me: ActorId,
+    actors: usize,
+    sends: &'a mut Vec<(ActorId, M)>,
+    timers: &'a mut Vec<(u64, ActorId, M)>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current logical time (advances only via the timer wheel).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The id of the actor handling the current message.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Sends `msg` to `to`, delivered at the start of the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` does not name an actor of this reactor.
+    pub fn send(&mut self, to: ActorId, msg: M) {
+        assert!(to.0 < self.actors, "send to unknown {to} ({} actors)", self.actors);
+        self.sends.push((to, msg));
+    }
+
+    /// Schedules `msg` for delivery to `to` after `delay` logical ticks.
+    /// A zero delay is an ordinary [`send`](Self::send).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` does not name an actor of this reactor.
+    pub fn send_after(&mut self, delay: u64, to: ActorId, msg: M) {
+        if delay == 0 {
+            self.send(to, msg);
+            return;
+        }
+        assert!(to.0 < self.actors, "send to unknown {to} ({} actors)", self.actors);
+        self.timers.push((self.now + delay, to, msg));
+    }
+}
+
+/// One hosted actor with its mailbox and per-round outgoing buffers.
+#[derive(Debug)]
+struct Slot<A: Actor> {
+    actor: A,
+    inbox: VecDeque<A::Msg>,
+    sends: Vec<(ActorId, A::Msg)>,
+    timers: Vec<(u64, ActorId, A::Msg)>,
+}
+
+/// Counters describing one reactor run (cumulative across
+/// [`run_until_idle`](Reactor::run_until_idle) calls).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Messages delivered to mailboxes (including timer deliveries).
+    pub messages: u64,
+    /// Timer entries fired.
+    pub timers_fired: u64,
+}
+
+/// The event loop: owns every actor, their mailboxes, and the timer wheel.
+///
+/// See the crate docs for the execution model and determinism contract.
+#[derive(Debug)]
+pub struct Reactor<A: Actor> {
+    slots: Vec<Slot<A>>,
+    wheel: TimerWheel<A::Msg>,
+    now: u64,
+    pending: usize,
+    stats: ReactorStats,
+}
+
+impl<A: Actor> Default for Reactor<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Actor> Reactor<A> {
+    /// Creates an empty reactor at logical time zero.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            wheel: TimerWheel::new(),
+            now: 0,
+            pending: 0,
+            stats: ReactorStats::default(),
+        }
+    }
+
+    /// Registers an actor, returning its id (dense, in registration
+    /// order). No OS thread is spawned — the actor is polled in place.
+    pub fn add_actor(&mut self, actor: A) -> ActorId {
+        self.slots.push(Slot {
+            actor,
+            inbox: VecDeque::new(),
+            sends: Vec::new(),
+            timers: Vec::new(),
+        });
+        ActorId(self.slots.len() - 1)
+    }
+
+    /// Number of hosted actors.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the reactor hosts no actors.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Run counters so far.
+    pub fn stats(&self) -> ReactorStats {
+        self.stats
+    }
+
+    /// Shared access to an actor (e.g. to read results after a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn actor(&self, id: ActorId) -> &A {
+        &self.slots[id.0].actor
+    }
+
+    /// Exclusive access to an actor (e.g. for out-of-band state changes
+    /// between runs; prefer messages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut A {
+        &mut self.slots[id.0].actor
+    }
+
+    /// Iterates actors in id order.
+    pub fn actors(&self) -> impl Iterator<Item = &A> {
+        self.slots.iter().map(|s| &s.actor)
+    }
+
+    /// Consumes the reactor, returning the actors in id order.
+    pub fn into_actors(self) -> Vec<A> {
+        self.slots.into_iter().map(|s| s.actor).collect()
+    }
+
+    /// Delivers `msg` to `to` from outside the actor graph (processed in
+    /// the next round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` does not name a registered actor.
+    pub fn inject(&mut self, to: ActorId, msg: A::Msg) {
+        assert!(
+            to.0 < self.slots.len(),
+            "inject to unknown {to} ({} actors)",
+            self.slots.len()
+        );
+        self.slots[to.0].inbox.push_back(msg);
+        self.pending += 1;
+        self.stats.messages += 1;
+    }
+
+    /// Schedules `msg` for delivery to `to` after `delay` ticks, from
+    /// outside the actor graph. A zero delay is an [`inject`](Self::inject).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` does not name a registered actor.
+    pub fn schedule(&mut self, delay: u64, to: ActorId, msg: A::Msg) {
+        if delay == 0 {
+            self.inject(to, msg);
+            return;
+        }
+        assert!(
+            to.0 < self.slots.len(),
+            "schedule to unknown {to} ({} actors)",
+            self.slots.len()
+        );
+        self.wheel.schedule(self.now + delay, to, msg);
+    }
+
+    /// Runs rounds (and advances logical time through the wheel) until no
+    /// messages and no timers remain, then returns the cumulative stats.
+    pub fn run_until_idle(&mut self) -> ReactorStats {
+        loop {
+            if self.pending > 0 {
+                self.round();
+                continue;
+            }
+            let Some(deadline) = self.wheel.next_deadline() else { break };
+            debug_assert!(deadline > self.now, "timer scheduled in the past");
+            self.now = self.now.max(deadline);
+            for (to, msg) in self.wheel.fire_due(self.now) {
+                self.slots[to.0].inbox.push_back(msg);
+                self.pending += 1;
+                self.stats.timers_fired += 1;
+                self.stats.messages += 1;
+            }
+        }
+        self.stats
+    }
+
+    /// Executes one round: every actor drains its mailbox (sharded across
+    /// `rths_par` workers when `RTHS_THREADS` > 1), then the buffered
+    /// sends are merged into destination mailboxes in sender-index order.
+    fn round(&mut self) {
+        let now = self.now;
+        let actors = self.slots.len();
+        rths_par::par_chunks_mut(&mut self.slots, |offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                if slot.inbox.is_empty() {
+                    continue;
+                }
+                let Slot { actor, inbox, sends, timers } = slot;
+                let mut ctx = Ctx { now, me: ActorId(offset + k), actors, sends, timers };
+                while let Some(msg) = inbox.pop_front() {
+                    actor.on_message(msg, &mut ctx);
+                }
+            }
+        });
+        let mut delivered = 0usize;
+        for i in 0..self.slots.len() {
+            let mut sends = std::mem::take(&mut self.slots[i].sends);
+            for (to, msg) in sends.drain(..) {
+                self.slots[to.0].inbox.push_back(msg);
+                delivered += 1;
+            }
+            self.slots[i].sends = sends;
+            let mut timers = std::mem::take(&mut self.slots[i].timers);
+            for (fire_at, to, msg) in timers.drain(..) {
+                self.wheel.schedule(fire_at, to, msg);
+            }
+            self.slots[i].timers = timers;
+        }
+        self.pending = delivered;
+        self.stats.rounds += 1;
+        self.stats.messages += delivered as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate `RTHS_THREADS` (process-global state);
+    /// same discipline as the `rths_par` tests.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let prior = std::env::var("RTHS_THREADS").ok();
+        std::env::set_var("RTHS_THREADS", n.to_string());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        match prior {
+            Some(value) => std::env::set_var("RTHS_THREADS", value),
+            None => std::env::remove_var("RTHS_THREADS"),
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Test actor: accumulates a hash of received values and forwards a
+    /// mixed value to a topology-determined neighbour while `hops` remain.
+    struct Mixer {
+        neighbour: ActorId,
+        log: Vec<u64>,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    struct Hop {
+        value: u64,
+        hops: u32,
+    }
+
+    impl Actor for Mixer {
+        type Msg = Hop;
+        fn on_message(&mut self, msg: Hop, ctx: &mut Ctx<'_, Hop>) {
+            self.log.push(msg.value);
+            if msg.hops > 0 {
+                let value = msg.value.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+                ctx.send(self.neighbour, Hop { value, hops: msg.hops - 1 });
+            }
+        }
+    }
+
+    fn mixer_ring(n: usize, stride: usize) -> Reactor<Mixer> {
+        let mut reactor = Reactor::new();
+        for i in 0..n {
+            reactor
+                .add_actor(Mixer { neighbour: ActorId((i * stride + 1) % n), log: Vec::new() });
+        }
+        reactor
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_full_log() {
+        let mut reactor = mixer_ring(2, 1);
+        reactor.inject(ActorId(0), Hop { value: 1, hops: 9 });
+        let stats = reactor.run_until_idle();
+        let total: usize = reactor.actors().map(|a| a.log.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(stats.messages, 10);
+        assert!(stats.rounds >= 10, "each hop needs its own round");
+    }
+
+    #[test]
+    fn self_send_is_deferred_to_next_round() {
+        struct Selfie {
+            rounds_seen: Vec<u64>,
+        }
+        impl Actor for Selfie {
+            type Msg = u32;
+            fn on_message(&mut self, msg: u32, ctx: &mut Ctx<'_, u32>) {
+                self.rounds_seen.push(ctx.now());
+                if msg > 0 {
+                    ctx.send(ctx.me(), msg - 1);
+                }
+            }
+        }
+        let mut reactor = Reactor::new();
+        let id = reactor.add_actor(Selfie { rounds_seen: Vec::new() });
+        reactor.inject(id, 3);
+        let stats = reactor.run_until_idle();
+        assert_eq!(reactor.actor(id).rounds_seen.len(), 4);
+        // Four separate rounds: a self-send is never handled re-entrantly.
+        assert_eq!(stats.rounds, 4);
+    }
+
+    #[test]
+    fn timers_advance_logical_time() {
+        struct Echo {
+            fired_at: Vec<u64>,
+        }
+        impl Actor for Echo {
+            type Msg = u64;
+            fn on_message(&mut self, delay: u64, ctx: &mut Ctx<'_, u64>) {
+                self.fired_at.push(ctx.now());
+                if delay > 0 {
+                    ctx.send_after(delay, ctx.me(), delay - 1);
+                }
+            }
+        }
+        let mut reactor = Reactor::new();
+        let id = reactor.add_actor(Echo { fired_at: Vec::new() });
+        reactor.inject(id, 3);
+        let stats = reactor.run_until_idle();
+        // Injected at t=0, then timers at t=3, t=3+2, t=5+1.
+        assert_eq!(reactor.actor(id).fired_at, vec![0, 3, 5, 6]);
+        assert_eq!(reactor.now(), 6);
+        assert_eq!(stats.timers_fired, 3);
+    }
+
+    #[test]
+    fn external_schedule_delivers_later() {
+        let mut reactor = mixer_ring(3, 1);
+        reactor.schedule(5, ActorId(2), Hop { value: 7, hops: 0 });
+        reactor.run_until_idle();
+        assert_eq!(reactor.actor(ActorId(2)).log, vec![7]);
+        assert_eq!(reactor.now(), 5);
+    }
+
+    #[test]
+    fn identical_at_any_worker_count() {
+        // A 300-actor mesh with long forwarding chains: every actor's full
+        // receive log must be bit-identical at 1, 2, and 4 workers.
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut reactor = mixer_ring(300, 7);
+                for i in 0..300 {
+                    reactor.inject(ActorId(i), Hop { value: i as u64, hops: 40 });
+                }
+                reactor.run_until_idle();
+                reactor.into_actors().into_iter().map(|a| a.log).collect::<Vec<_>>()
+            })
+        };
+        let base = run(1);
+        assert_eq!(run(2), base, "2 workers diverged");
+        assert_eq!(run(4), base, "4 workers diverged");
+    }
+
+    #[test]
+    fn merge_order_is_sender_index_order() {
+        // Three senders forward to the same sink within one round; the
+        // sink must receive them in sender-index order at any worker
+        // count (the determinism contract's load-bearing property).
+        let mut reactor = Reactor::new();
+        for _ in 0..4usize {
+            reactor.add_actor(Mixer { neighbour: ActorId(3), log: Vec::new() });
+        }
+        for i in 0..3 {
+            reactor.inject(ActorId(i), Hop { value: 10 + i as u64, hops: 1 });
+        }
+        reactor.run_until_idle();
+        let expect: Vec<u64> = (0..3)
+            .map(|i| (10 + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+            .collect();
+        assert_eq!(reactor.actor(ActorId(3)).log, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown actor-7")]
+    fn inject_to_unknown_actor_panics() {
+        let mut reactor = mixer_ring(2, 1);
+        reactor.inject(ActorId(7), Hop { value: 0, hops: 0 });
+    }
+
+    #[test]
+    fn idle_reactor_is_a_noop() {
+        let mut reactor = mixer_ring(5, 1);
+        let stats = reactor.run_until_idle();
+        assert_eq!(stats, ReactorStats::default());
+        assert_eq!(reactor.now(), 0);
+        assert_eq!(reactor.len(), 5);
+        assert!(!reactor.is_empty());
+    }
+}

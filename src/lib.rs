@@ -6,7 +6,9 @@
 //! * [`rths_core`] — the RTHS/R2HS learners (the paper's contribution);
 //! * [`rths_game`] — the helper-selection game and equilibrium tooling;
 //! * [`rths_sim`] — the streaming-system simulator (evaluation substrate);
-//! * [`rths_net`] — the threaded message-passing runtime;
+//! * [`rths_net`] — the decentralized message-passing runtimes
+//!   (thread-per-actor and reactor backends);
+//! * [`rths_reactor`] — the deterministic event-loop actor runtime;
 //! * [`rths_mdp`] — the centralized MDP benchmark;
 //! * [`rths_par`] — the deterministic data-parallel runtime;
 //! * [`rths_stoch`], [`rths_lp`], [`rths_math`] — supporting substrates.
@@ -18,6 +20,7 @@ pub use rths_math as math;
 pub use rths_mdp as mdp;
 pub use rths_net as net;
 pub use rths_par as par;
+pub use rths_reactor as reactor;
 pub use rths_sim as sim;
 pub use rths_stoch as stoch;
 
@@ -60,7 +63,7 @@ pub mod prelude {
     };
     pub use rths_game::{HelperSelectionGame, JointDistribution};
     pub use rths_mdp::MdpBenchmark;
-    pub use rths_net::{FaultPlan, NetConfig, NetRuntime};
+    pub use rths_net::{Backend, FaultPlan, NetConfig, NetRuntime, ReactorRuntime};
     pub use rths_sim::{
         Algorithm, AllocationPolicy, BandwidthSpec, LearnerSpec, MultiChannelConfig,
         MultiChannelSystem, Scenario, SimConfig, System,

@@ -1,45 +1,119 @@
-//! The simulator and the threaded actor runtime implement the *same
-//! system*: with identical seeds and no faults they must agree
-//! bit-for-bit, because every actor owns the same deterministic RNG
-//! stream in both implementations and the epoch protocol is a barrier.
+//! The simulator, the threaded actor runtime, and the reactor event-loop
+//! runtime implement the *same system*: with identical seeds and no
+//! faults all three must agree **bit-for-bit**, because every actor owns
+//! the same deterministic RNG stream in every implementation and the
+//! epoch protocol is a barrier. The comparison is `f64::to_bits`
+//! equality — not approximate — and is repeated at `RTHS_THREADS=1` and
+//! `2`, since neither the simulator's fork/join parallelism nor the
+//! reactor's sharded mailbox draining may perturb a single bit.
 //!
 //! This is the strongest cross-implementation test in the workspace: any
 //! divergence in learner updates, rate allocation, or metric arithmetic
-//! between `rths-sim` and `rths-net` fails it.
+//! between `rths-sim`, `rths-net`'s threaded backend, and its reactor
+//! backend fails it.
 
-use rths_net::{FaultPlan, NetConfig, NetRuntime};
+use std::sync::Mutex;
+
+use rths_net::{Backend, FaultPlan, NetConfig, NetOutcome};
 use rths_sim::{BandwidthSpec, Scenario, SimConfig, System};
 
-fn assert_equivalent(sim_config: SimConfig, epochs: u64) {
-    let mut sim = System::new(sim_config.clone());
-    let sim_out = sim.run(epochs);
-    let net_out = NetRuntime::new(NetConfig::from_sim(sim_config)).run(epochs);
+/// Serializes `RTHS_THREADS` mutation across this binary's tests
+/// (process-global state).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-    assert_eq!(sim_out.epochs, net_out.epochs);
-    // Per-epoch series must match exactly.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prior = std::env::var("RTHS_THREADS").ok();
+    std::env::set_var("RTHS_THREADS", n.to_string());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match prior {
+        Some(value) => std::env::set_var("RTHS_THREADS", value),
+        None => std::env::remove_var("RTHS_THREADS"),
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Bit-pattern view of a float series: equality here is exact, with no
+/// tolerance to hide a drifting reduction order.
+fn bits(series: &[f64]) -> Vec<u64> {
+    series.iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_outcome_matches_sim(
+    backend: &str,
+    threads: usize,
+    sim_out: &rths_sim::Outcome,
+    net_out: &NetOutcome,
+) {
+    let tag = format!("{backend} backend, RTHS_THREADS={threads}");
+    assert_eq!(sim_out.epochs, net_out.epochs, "{tag}: epoch counts diverged");
     assert_eq!(
-        sim_out.metrics.welfare.values(),
-        net_out.metrics.welfare.values(),
-        "welfare series diverged"
+        bits(sim_out.metrics.welfare.values()),
+        bits(net_out.metrics.welfare.values()),
+        "{tag}: welfare trajectory diverged"
     );
     assert_eq!(
-        sim_out.metrics.server_load.values(),
-        net_out.metrics.server_load.values(),
-        "server load series diverged"
+        bits(sim_out.metrics.server_load.values()),
+        bits(net_out.metrics.server_load.values()),
+        "{tag}: server load series diverged"
+    );
+    assert_eq!(
+        bits(sim_out.metrics.jain.values()),
+        bits(net_out.metrics.jain.values()),
+        "{tag}: Jain fairness series diverged"
     );
     for (j, (a, b)) in
         sim_out.metrics.helper_loads.iter().zip(&net_out.metrics.helper_loads).enumerate()
     {
-        assert_eq!(a.values(), b.values(), "helper {j} load series diverged");
+        assert_eq!(
+            bits(a.values()),
+            bits(b.values()),
+            "{tag}: helper {j} load series diverged"
+        );
     }
     assert_eq!(
-        sim_out.metrics.worst_empirical_regret.values(),
-        net_out.metrics.worst_empirical_regret.values(),
-        "empirical regret series diverged"
+        bits(sim_out.metrics.worst_empirical_regret.values()),
+        bits(net_out.metrics.worst_empirical_regret.values()),
+        "{tag}: empirical regret series diverged"
     );
     // Final per-peer summaries.
-    assert_eq!(sim_out.metrics.mean_peer_rates, net_out.peer_mean_rates);
-    assert_eq!(sim_out.metrics.peer_continuity, net_out.peer_continuity);
+    assert_eq!(
+        bits(&sim_out.metrics.mean_peer_rates),
+        bits(&net_out.peer_mean_rates),
+        "{tag}: per-peer mean rates diverged"
+    );
+    assert_eq!(
+        bits(&sim_out.metrics.peer_continuity),
+        bits(&net_out.peer_continuity),
+        "{tag}: per-peer continuity diverged"
+    );
+}
+
+/// The acceptance gate: sim, threaded net, and reactor net must produce
+/// identical trajectories at every tested worker count.
+fn assert_equivalent(sim_config: SimConfig, epochs: u64) {
+    for threads in [1usize, 2] {
+        with_threads(threads, || {
+            let mut sim = System::new(sim_config.clone());
+            let sim_out = sim.run(epochs);
+            let threaded = rths_net::run(NetConfig::from_sim(sim_config.clone()), epochs);
+            let reactor = rths_net::run(
+                NetConfig::from_sim(sim_config.clone()).with_backend(Backend::Reactor),
+                epochs,
+            );
+            assert_outcome_matches_sim("threaded", threads, &sim_out, &threaded);
+            assert_outcome_matches_sim("reactor", threads, &sim_out, &reactor);
+            // The two net backends also agree on message accounting —
+            // same protocol, different transport.
+            assert_eq!(
+                threaded.messages, reactor.messages,
+                "RTHS_THREADS={threads}: message accounting diverged between backends"
+            );
+        });
+    }
 }
 
 #[test]
@@ -68,18 +142,33 @@ fn equivalent_with_heterogeneous_processes() {
 }
 
 #[test]
+fn equivalent_on_a_reactor_scale_population() {
+    // Big enough that the reactor actually shards rounds across workers
+    // (above rths_par's MIN_PARALLEL_ITEMS) while staying CI-cheap for
+    // the thread-per-actor backend.
+    let config =
+        SimConfig::builder(96, vec![BandwidthSpec::Paper { stay: 0.95 }; 6]).seed(1234).build();
+    assert_equivalent(config, 60);
+}
+
+#[test]
 fn jitter_does_not_change_results() {
-    // Timing jitter reorders thread interleavings but the barrier protocol
-    // must absorb it completely.
+    // Timing jitter reorders thread interleavings (threaded backend) or
+    // delays tick delivery through the timer wheel (reactor backend);
+    // the barrier protocol must absorb it completely on both.
     let config = Scenario::paper_small().seed(5).build();
-    let clean = NetRuntime::new(NetConfig::from_sim(config.clone())).run(60);
-    let jittery = NetRuntime::new(
-        NetConfig::from_sim(config).with_faults(FaultPlan::none().with_jitter(200)),
-    )
-    .run(60);
-    assert_eq!(
-        clean.metrics.welfare.values(),
-        jittery.metrics.welfare.values(),
-        "jitter changed outcomes — barrier protocol is leaky"
-    );
+    let clean = rths_net::run(NetConfig::from_sim(config.clone()), 60);
+    for backend in [Backend::Threaded, Backend::Reactor] {
+        let jittery = rths_net::run(
+            NetConfig::from_sim(config.clone())
+                .with_backend(backend)
+                .with_faults(FaultPlan::none().with_jitter(200)),
+            60,
+        );
+        assert_eq!(
+            bits(clean.metrics.welfare.values()),
+            bits(jittery.metrics.welfare.values()),
+            "jitter changed outcomes on {backend:?} — barrier protocol is leaky"
+        );
+    }
 }
