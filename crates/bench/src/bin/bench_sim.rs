@@ -13,6 +13,13 @@
 //! * `RTHS_THREADS=T` benches `[1, T]` instead of the default `[1, 2, 4]`
 //!   (`RTHS_THREADS=1` benches the sequential baseline only).
 //! * `RTHS_BENCH_QUICK=1` shrinks the grid for CI smoke jobs.
+//! * `RTHS_BENCH_LARGE=1` adds the truncated large-grid point (10⁵ peers
+//!   / 10³ helpers / 10² channels, fixed epoch count so the scenario is
+//!   comparable across quick and full reports — the CI smoke job's way
+//!   of keeping the perf gate armed at scale).
+//! * The full grid tops out at the ROADMAP's **10⁶ peers / 10³ helpers /
+//!   10² channels** point, exercising the sharded SoA peer store at the
+//!   population the paper's claims are about.
 //! * Output lands in `results/BENCH_sim.json` (see `RTHS_RESULTS_DIR`).
 
 use std::fmt::Write as _;
@@ -30,6 +37,9 @@ struct Scenario {
     peers: usize,
     helpers: usize,
     channels: usize,
+    /// Channels served per helper (multi-channel only): sizes the
+    /// per-viewer action set at `helpers × cph / channels`.
+    channels_per_helper: usize,
     epochs: u64,
 }
 
@@ -41,14 +51,15 @@ struct Run {
     welfare_checksum: f64,
 }
 
-fn grid(quick: bool) -> Vec<Scenario> {
+fn grid(quick: bool, large: bool) -> Vec<Scenario> {
     let scale = if quick { 4 } else { 1 };
-    vec![
+    let mut scenarios = vec![
         Scenario {
             engine: "single_channel",
             peers: 200,
             helpers: 20,
             channels: 1,
+            channels_per_helper: 1,
             epochs: 600 / scale,
         },
         Scenario {
@@ -56,6 +67,7 @@ fn grid(quick: bool) -> Vec<Scenario> {
             peers: 1000,
             helpers: 32,
             channels: 1,
+            channels_per_helper: 1,
             epochs: 200 / scale,
         },
         Scenario {
@@ -63,6 +75,7 @@ fn grid(quick: bool) -> Vec<Scenario> {
             peers: 4000,
             helpers: 64,
             channels: 1,
+            channels_per_helper: 1,
             epochs: 80 / scale,
         },
         Scenario {
@@ -70,9 +83,37 @@ fn grid(quick: bool) -> Vec<Scenario> {
             peers: 2000,
             helpers: 48,
             channels: 16,
+            channels_per_helper: 4,
             epochs: 80 / scale,
         },
-    ]
+    ];
+    // The truncated large-grid point: deliberately *not* scaled by quick
+    // mode, so the CI smoke run and the committed full baseline record
+    // the same scenario and the perf gate can compare them like-for-like.
+    if large || !quick {
+        scenarios.push(Scenario {
+            engine: "multi_channel",
+            peers: 100_000,
+            helpers: 1000,
+            channels: 100,
+            channels_per_helper: 1,
+            epochs: 4,
+        });
+    }
+    // The ROADMAP's million-peer workload (full grid only): 10⁶ viewers
+    // over 10² channels served by 10³ helpers (~10 helpers per channel),
+    // the population the sharded SoA store exists for.
+    if !quick {
+        scenarios.push(Scenario {
+            engine: "multi_channel",
+            peers: 1_000_000,
+            helpers: 1000,
+            channels: 100,
+            channels_per_helper: 1,
+            epochs: 4,
+        });
+    }
+    scenarios
 }
 
 /// Runs one scenario at the current `RTHS_THREADS` setting and returns
@@ -98,7 +139,7 @@ fn run_once(s: &Scenario) -> (f64, f64) {
                 s.channels,
                 400.0,
                 s.helpers,
-                4,
+                s.channels_per_helper,
                 s.peers,
                 1.2,
                 AllocationPolicy::WaterFilling,
@@ -116,6 +157,7 @@ fn run_once(s: &Scenario) -> (f64, f64) {
 
 fn main() {
     let quick = std::env::var("RTHS_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let large = std::env::var("RTHS_BENCH_LARGE").is_ok_and(|v| v != "0");
     // Unset → default grid; an explicit RTHS_THREADS=1 means "sequential
     // baseline only" (rths_par::threads() cannot tell the two apart).
     let requested = std::env::var("RTHS_THREADS")
@@ -128,9 +170,10 @@ fn main() {
         Some(t) => vec![1, t],
     };
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scenarios = grid(quick, large);
     println!(
         "BENCH_sim — engine throughput grid ({} scenarios, threads {:?}, {} host cores{})",
-        grid(quick).len(),
+        scenarios.len(),
         thread_counts,
         host_cores,
         if quick { ", quick mode" } else { "" }
@@ -146,14 +189,12 @@ fn main() {
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"scenarios\": [");
 
-    let scenarios = grid(quick);
     for (si, s) in scenarios.iter().enumerate() {
         let mut runs: Vec<Run> = Vec::with_capacity(thread_counts.len());
         for &t in &thread_counts {
-            // The pool re-reads RTHS_THREADS on every parallel call, so
-            // flipping it between runs is all it takes.
-            std::env::set_var("RTHS_THREADS", t.to_string());
-            let (secs, welfare_checksum) = run_once(s);
+            // The scoped override pins the pool's worker count for this
+            // run without touching process-global state.
+            let (secs, welfare_checksum) = rths_par::with_threads(t, || run_once(s));
             runs.push(Run {
                 threads: t,
                 secs,
@@ -161,7 +202,6 @@ fn main() {
                 welfare_checksum,
             });
         }
-        std::env::remove_var("RTHS_THREADS");
 
         let baseline = runs[0].epochs_per_sec;
         let identical = runs

@@ -118,6 +118,11 @@ pub struct BenchSimScenario {
     pub helpers: usize,
     /// Channel count.
     pub channels: usize,
+    /// Epochs each run executed. Two reports' scenarios are only
+    /// throughput-comparable when this matches (warm-up amortizes over
+    /// the epoch count, so epochs/sec reads systematically low on short
+    /// runs).
+    pub epochs: u64,
     /// `(threads, epochs_per_sec)` per timed run.
     pub runs: Vec<(usize, f64)>,
 }
@@ -176,12 +181,14 @@ pub fn parse_bench_sim(text: &str) -> Result<BenchSimReport, String> {
                 peers: 0,
                 helpers: 0,
                 channels: 0,
+                epochs: 0,
                 runs: Vec::new(),
             });
         }
         if let Some(current) = scenarios.last_mut() {
-            // `peers`/`helpers`/`channels` appear once per scenario, before
-            // the runs array; run lines carry `threads` + `epochs_per_sec`.
+            // `peers`/`helpers`/`channels`/`epochs` appear once per
+            // scenario, before the runs array; run lines carry `threads`
+            // + `epochs_per_sec`.
             if let Some(threads) = json_usize(line, "threads") {
                 if let Some(eps) = json_f64(line, "epochs_per_sec") {
                     current.runs.push((threads, eps));
@@ -197,6 +204,9 @@ pub fn parse_bench_sim(text: &str) -> Result<BenchSimReport, String> {
                 }
                 if let Some(channels) = json_usize(line, "channels") {
                     current.channels = channels;
+                }
+                if let Some(epochs) = json_usize(line, "epochs") {
+                    current.epochs = epochs as u64;
                 }
             }
         }
@@ -270,9 +280,11 @@ mod tests {
         assert_eq!(report.scenarios.len(), 2);
         let first = &report.scenarios[0];
         assert_eq!(first.key(), ("single_channel".to_string(), 200, 20, 1));
+        assert_eq!(first.epochs, 600);
         assert_eq!(first.epochs_per_sec(2), Some(2400.0));
         assert_eq!(first.epochs_per_sec(8), None);
         assert_eq!(report.scenarios[1].channels, 16);
+        assert_eq!(report.scenarios[1].epochs, 80);
     }
 
     #[test]

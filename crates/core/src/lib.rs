@@ -61,6 +61,7 @@
 //! # Ok::<(), rths_core::ConfigError>(())
 //! ```
 
+pub mod compact;
 pub mod config;
 pub mod driver;
 pub mod exp3;
@@ -71,6 +72,7 @@ pub mod metrics;
 pub mod policy;
 pub mod recursive;
 
+pub use compact::RthsState;
 pub use config::{ConfigError, RecencyMode, RthsConfig, RthsConfigBuilder};
 pub use driver::{RepeatedGameDriver, RunResult};
 pub use exp3::{Exp3Config, Exp3Learner};

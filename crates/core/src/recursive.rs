@@ -3,16 +3,22 @@
 use rand::RngCore;
 use rths_math::Matrix;
 
-use crate::config::{RecencyMode, RthsConfig};
+use crate::compact::RthsState;
+use crate::config::RthsConfig;
 use crate::learner::Learner;
-use crate::policy;
 
 /// The Recursive Regret-Tracking Helper Selection learner.
 ///
 /// Maintains the proxy matrix `Tⁿ` of Eq. (3-4) via the rank-one update of
 /// Eq. (3-5) and derives regrets with Eq. (3-6), so per-stage work is
 /// `O(m²)` with no history kept. See the crate docs for the full update
-/// equations and [`RecencyMode`] for the averaging variants.
+/// equations and [`RecencyMode`](crate::RecencyMode) for the averaging
+/// variants.
+///
+/// This type is a standalone wrapper over the compact split state
+/// ([`RthsState`]) plus its own config and row scratch; population-scale
+/// consumers (the sharded peer stores in `rths_sim`) hold one `RthsState`
+/// per peer and share the config and scratch instead.
 ///
 /// # Example
 ///
@@ -31,17 +37,7 @@ use crate::policy;
 #[derive(Debug, Clone)]
 pub struct RthsLearner {
     config: RthsConfig,
-    probs: Vec<f64>,
-    /// Proxy matrix `T` (Eq. 3-4): entry `(j, k)` accumulates importance-
-    /// weighted utilities of stages where `k` was played.
-    t: Matrix,
-    /// Regret matrix `Q` (Eq. 3-6).
-    q: Matrix,
-    /// Recency-weighted empirical play frequency per action (same
-    /// averaging mode as `T`); drives conditional-regret normalisation.
-    freq: Vec<f64>,
-    stage: u64,
-    pending: Option<usize>,
+    state: RthsState,
     /// Scratch copy of the played regret row, reused across stages so the
     /// per-stage probability update allocates nothing.
     row_scratch: Vec<f64>,
@@ -52,16 +48,14 @@ impl RthsLearner {
     /// regrets (`Q⁰ = 0`, Algorithm 2 initialisation).
     pub fn new(config: RthsConfig) -> Self {
         let m = config.num_actions();
-        Self {
-            probs: vec![1.0 / m as f64; m],
-            t: Matrix::zeros(m, m),
-            q: Matrix::zeros(m, m),
-            freq: vec![1.0 / m as f64; m],
-            stage: 0,
-            pending: None,
-            row_scratch: Vec::with_capacity(m),
-            config,
-        }
+        Self { state: RthsState::new(&config), row_scratch: Vec::with_capacity(m), config }
+    }
+
+    /// Wraps an existing split state (e.g. one extracted from a sharded
+    /// peer store) with its shared config.
+    pub fn from_parts(config: RthsConfig, state: RthsState) -> Self {
+        let m = config.num_actions();
+        Self { config, state, row_scratch: Vec::with_capacity(m) }
     }
 
     /// The configuration.
@@ -69,14 +63,33 @@ impl RthsLearner {
         &self.config
     }
 
-    /// The regret matrix `Qⁿ` (diagonal is zero by definition).
-    pub fn regret_matrix(&self) -> &Matrix {
-        &self.q
+    /// The compact per-peer state.
+    pub fn state(&self) -> &RthsState {
+        &self.state
+    }
+
+    /// Consumes the learner, returning its split state.
+    pub fn into_state(self) -> RthsState {
+        self.state
+    }
+
+    /// The regret matrix `Qⁿ` (diagonal is zero by definition),
+    /// materialised from the proxy matrix on demand — the learner no
+    /// longer stores it.
+    pub fn regret_matrix(&self) -> Matrix {
+        let m = self.config.num_actions();
+        let mut q = Matrix::zeros(m, m);
+        for j in 0..m {
+            for k in 0..m {
+                q[(j, k)] = self.state.regret(&self.config, j, k);
+            }
+        }
+        q
     }
 
     /// The proxy matrix `Tⁿ`.
     pub fn proxy_matrix(&self) -> &Matrix {
-        &self.t
+        self.state.proxy_matrix()
     }
 
     /// Regret `Qⁿ(j, k)` for not having played `k` instead of `j`.
@@ -85,29 +98,12 @@ impl RthsLearner {
     ///
     /// Panics if either index is out of range.
     pub fn regret(&self, j: usize, k: usize) -> f64 {
-        self.q[(j, k)]
+        self.state.regret(&self.config, j, k)
     }
 
     /// Recency-weighted empirical play frequencies (one per action).
     pub fn play_frequencies(&self) -> &[f64] {
-        &self.freq
-    }
-
-    fn update_regrets(&mut self) {
-        let m = self.config.num_actions();
-        // Averaging factor: ε for the tracking modes (Eq. 3-6), 1/n for
-        // uniform regret matching.
-        let factor = match self.config.recency() {
-            RecencyMode::Exponential | RecencyMode::PaperLiteral => self.config.epsilon(),
-            RecencyMode::Uniform => 1.0 / self.stage.max(1) as f64,
-        };
-        for j in 0..m {
-            let t_jj = self.t[(j, j)];
-            for k in 0..m {
-                self.q[(j, k)] =
-                    if j == k { 0.0 } else { (factor * (self.t[(j, k)] - t_jj)).max(0.0) };
-            }
-        }
+        self.state.play_frequencies()
     }
 }
 
@@ -123,121 +119,43 @@ impl Learner for RthsLearner {
     }
 
     fn probabilities(&self) -> &[f64] {
-        &self.probs
+        self.state.probabilities()
     }
 
     fn select_action(&mut self, rng: &mut dyn RngCore) -> usize {
-        assert!(self.pending.is_none(), "select_action called with an observation pending");
-        let u: f64 = rand::Rng::gen(rng);
-        let mut acc = 0.0;
-        let mut chosen = self.probs.len() - 1;
-        for (a, &p) in self.probs.iter().enumerate() {
-            acc += p;
-            if u < acc {
-                chosen = a;
-                break;
-            }
-        }
-        self.pending = Some(chosen);
-        chosen
+        self.state.select_action(rng)
     }
 
     fn observe(&mut self, utility: f64) {
-        assert!(utility.is_finite(), "utility must be finite, got {utility}");
-        let j = self.pending.take().expect("observe called without a pending action");
-        self.stage += 1;
-
-        // Eq. (3-5): T ← decay(T); column j += (u/pⁿ(j)) · pⁿ.
-        if self.config.recency() == RecencyMode::Exponential {
-            self.t.scale(1.0 - self.config.epsilon());
-        }
-        let p_j = self.probs[j];
-        debug_assert!(p_j > 0.0, "played action had zero probability");
-        let scale = utility / p_j;
-        let m = self.config.num_actions();
-        for r in 0..m {
-            self.t[(r, j)] += scale * self.probs[r];
-        }
-
-        // Play-frequency average (same weighting scheme as T).
-        match self.config.recency() {
-            RecencyMode::Exponential => {
-                let eps = self.config.epsilon();
-                for (a, f) in self.freq.iter_mut().enumerate() {
-                    *f = (1.0 - eps) * *f + if a == j { eps } else { 0.0 };
-                }
-            }
-            RecencyMode::PaperLiteral | RecencyMode::Uniform => {
-                // Uniform 1/n play counts (literal mode reuses them).
-                let n = self.stage as f64;
-                for (a, f) in self.freq.iter_mut().enumerate() {
-                    let count = *f * (n - 1.0) + if a == j { 1.0 } else { 0.0 };
-                    *f = count / n;
-                }
-            }
-        }
-
-        // Eq. (3-6) and the probability update. The played row is copied
-        // into a reusable scratch buffer (update_probabilities needs the
-        // row while it rewrites probs, and conditional mode rescales it).
-        self.update_regrets();
-        self.row_scratch.clear();
-        self.row_scratch.extend_from_slice(self.q.row(j));
-        if self.config.conditional() {
-            // Conditional regret: normalise row j by the play frequency
-            // of j (floored at the exploration rate to stay bounded).
-            let floor = policy::exploration_floor(m, self.config.delta());
-            let f_j = self.freq[j].max(floor);
-            for r in self.row_scratch.iter_mut() {
-                *r /= f_j;
-            }
-        }
-        policy::update_probabilities(
-            &mut self.probs,
-            j,
-            &self.row_scratch,
-            self.config.delta(),
-            self.config.mu(),
-        );
+        self.state.observe(&self.config, utility, &mut self.row_scratch);
     }
 
     fn max_regret(&self) -> f64 {
-        let m = self.q.max();
-        if m.is_finite() {
-            m.max(0.0)
-        } else {
-            0.0
-        }
+        self.state.max_regret(&self.config)
     }
 
     fn stage(&self) -> u64 {
-        self.stage
+        self.state.stage()
     }
 
     fn pending_action(&self) -> Option<usize> {
-        self.pending
+        self.state.pending_action()
     }
 
     fn reset_actions(&mut self, num_actions: usize) {
-        assert!(self.pending.is_none(), "cannot reset actions with an observation pending");
         let config = self
             .config
             .with_num_actions(num_actions)
             .expect("reset_actions requires at least one action");
         self.config = config;
-        self.probs = vec![1.0 / num_actions as f64; num_actions];
-        self.t = Matrix::zeros(num_actions, num_actions);
-        self.q = Matrix::zeros(num_actions, num_actions);
-        self.freq = vec![1.0 / num_actions as f64; num_actions];
-        // Restart the stage clock so Uniform-mode averaging matches a
-        // fresh learner (and stays consistent with HistoryRths).
-        self.stage = 0;
+        self.state.reset_actions(num_actions);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RecencyMode;
     use rand::SeedableRng;
     use rths_math::vector::is_distribution;
 

@@ -11,11 +11,19 @@
 //!
 //! # Thread count
 //!
-//! The worker count comes from the `RTHS_THREADS` environment variable,
-//! re-read on every call (cheap, and lets tests flip it at runtime). Unset,
-//! unparsable, or `1` means **inline sequential execution on the calling
-//! thread** — no threads are spawned at all, which keeps CI and the golden
-//! tests on the exact code path the paper reproduction was pinned on.
+//! The worker count is resolved per call, cheapest-first:
+//!
+//! 1. an explicit scoped override installed with [`with_threads`] — the
+//!    API tests and benches use instead of mutating the process
+//!    environment (`std::env::set_var` is racy under the multithreaded
+//!    test harness and `unsafe` in newer toolchains);
+//! 2. otherwise the `RTHS_THREADS` environment variable, the *outermost*
+//!    configuration layer (CI matrices, operators).
+//!
+//! Unset, unparsable, or `1` means **inline sequential execution on the
+//! calling thread** — no threads are spawned at all, which keeps CI and
+//! the golden tests on the exact code path the paper reproduction was
+//! pinned on.
 //! For the fine-grained primitives, inputs smaller than
 //! [`MIN_PARALLEL_ITEMS`] also run inline: below that, spawn overhead
 //! dwarfs the work and single-channel test systems with a handful of
@@ -47,13 +55,65 @@
 /// simulation runs, one per seed) and has no such cutoff.
 pub const MIN_PARALLEL_ITEMS: usize = 64;
 
-/// The configured worker count: `RTHS_THREADS` if set to a positive
+/// The configured worker count: the innermost [`with_threads`] override on
+/// this thread if one is active, else `RTHS_THREADS` if set to a positive
 /// integer, otherwise `1` (sequential).
 pub fn threads() -> usize {
-    match std::env::var("RTHS_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1),
-        Err(_) => 1,
+    if let Some(n) = THREAD_OVERRIDE.with(std::cell::Cell::get) {
+        return n;
     }
+    parse_threads(std::env::var("RTHS_THREADS").ok().as_deref())
+}
+
+/// Interprets an `RTHS_THREADS` value: a positive integer (surrounding
+/// whitespace tolerated) is the worker count; unset, unparsable, or zero
+/// means `1` (sequential).
+fn parse_threads(value: Option<&str>) -> usize {
+    match value {
+        Some(v) => v.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1),
+        None => 1,
+    }
+}
+
+std::thread_local! {
+    /// Scoped worker-count override installed by [`with_threads`].
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Restores the previous override when a [`with_threads`] scope unwinds.
+struct OverrideGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.with(|o| o.set(self.prev));
+    }
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread, restoring
+/// the previous setting afterwards (also on panic).
+///
+/// This is the programmatic alternative to the `RTHS_THREADS` environment
+/// variable: tests and benches that sweep thread counts use it so they
+/// never mutate process-global state (racy under the multithreaded test
+/// harness). An inner `with_threads` wins over an outer one and over the
+/// environment; the environment variable remains the outermost default
+/// for code that never installs an override.
+///
+/// The override is **per-thread**: work spawned onto pool workers inside
+/// `f` is governed by the count captured when the parallel region was
+/// entered (regions nest inline anyway, see the crate docs).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "worker count must be at least 1");
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(n)));
+    let _guard = OverrideGuard { prev };
+    f()
 }
 
 std::thread_local! {
@@ -276,47 +336,220 @@ where
     });
 }
 
+/// A bundle of mutable columns that can be split at the same item
+/// boundary — the structure-of-arrays counterpart of `split_at_mut`.
+///
+/// The sharded peer stores keep one flat column per field (ids, learner
+/// state, accounting); a parallel phase needs a disjoint contiguous range
+/// of **every** column per worker. Implementations exist for `&mut [T]`,
+/// tuples of implementors (nest tuples for wider bundles), and
+/// [`Strided`] for flat matrices with a fixed row stride.
+pub trait ShardCols: Send + Sized {
+    /// Splits the bundle into items `..mid` and `mid..`.
+    fn shard_split(self, mid: usize) -> (Self, Self);
+}
+
+impl<T: Send> ShardCols for &mut [T] {
+    fn shard_split(self, mid: usize) -> (Self, Self) {
+        self.split_at_mut(mid)
+    }
+}
+
+impl ShardCols for () {
+    fn shard_split(self, _mid: usize) -> (Self, Self) {
+        ((), ())
+    }
+}
+
+macro_rules! impl_shard_cols_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: ShardCols),+> ShardCols for ($($name,)+) {
+            fn shard_split(self, mid: usize) -> (Self, Self) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                #[allow(non_snake_case)]
+                let ($($name,)+) = ($($name.shard_split(mid),)+);
+                (($($name.0,)+), ($($name.1,)+))
+            }
+        }
+    };
+}
+
+impl_shard_cols_tuple!(A, B);
+impl_shard_cols_tuple!(A, B, C);
+impl_shard_cols_tuple!(A, B, C, D);
+impl_shard_cols_tuple!(A, B, C, D, E);
+
+/// A flat row-major column with `stride` scalars per item (e.g. one
+/// regret row per peer): splitting at item `mid` splits the backing slice
+/// at `mid * stride`.
+#[derive(Debug)]
+pub struct Strided<'a, T> {
+    /// Scalars per item.
+    pub stride: usize,
+    /// The backing flat slice (`len = items × stride`).
+    pub data: &'a mut [T],
+}
+
+impl<'a, T> Strided<'a, T> {
+    /// Wraps a flat slice with `stride` scalars per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of a non-zero `stride`.
+    pub fn new(stride: usize, data: &'a mut [T]) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert_eq!(data.len() % stride, 0, "flat column length must be a stride multiple");
+        Self { stride, data }
+    }
+
+    /// The row of item `i` **relative to this chunk**.
+    pub fn row(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.stride..(i + 1) * self.stride]
+    }
+}
+
+impl<T: Send> ShardCols for Strided<'_, T> {
+    fn shard_split(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.data.split_at_mut(mid * self.stride);
+        (Self { stride: self.stride, data: a }, Self { stride: self.stride, data: b })
+    }
+}
+
+/// A shard's identity inside [`par_sharded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard index (`0..shards`).
+    pub index: usize,
+    /// Absolute index of the shard's first item.
+    pub start: usize,
+    /// One past the shard's last item.
+    pub end: usize,
+}
+
+impl Shard {
+    /// Items in this shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard is empty (never produced by [`par_sharded`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Runs `f(shard, cols_chunk, scratch[shard.index])` over `shards`
+/// contiguous index ranges of a structure-of-arrays column bundle, one
+/// worker per shard.
+///
+/// This is the peer-store primitive: `cols` bundles every mutable column
+/// of the store ([`ShardCols`]), each shard receives the same contiguous
+/// item range of all of them plus **its own** scratch slot, so a phase
+/// can mutate per-entity state and thread-affine accumulators without any
+/// sharing. Shard boundaries are the deterministic [`chunk_ranges`]
+/// partition; as long as the caller keeps order-sensitive reductions
+/// index-ordered (sequentially, or by merging per-shard accumulators in
+/// shard order when the merge is order-insensitive), results are
+/// **bit-for-bit identical at any shard count** — the contract the
+/// engines' shard-count sweep test pins.
+///
+/// `shards` is a *request*: it is clamped to `len`, and a single shard
+/// (or a call from inside another parallel region) runs inline on the
+/// calling thread. Unlike the requested count, the executing thread count
+/// never affects results.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero when `len > 0`, or `scratch` has fewer
+/// slots than the clamped shard count. Worker panics propagate to the
+/// caller after the scope joins.
+pub fn par_sharded<C, S, F>(len: usize, shards: usize, cols: C, scratch: &mut [S], f: F)
+where
+    C: ShardCols,
+    S: Send,
+    F: Fn(Shard, C, &mut S) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    assert!(shards >= 1, "need at least one shard");
+    let shards = shards.min(len);
+    assert!(scratch.len() >= shards, "need one scratch slot per shard");
+    let ranges = chunk_ranges(len, shards);
+    if ranges.len() == 1 || IN_WORKER.with(std::cell::Cell::get) {
+        // Inline: preserve the shard *structure* (each range still sees
+        // its own scratch slot) while executing sequentially.
+        let mut rest = cols;
+        for (index, &(start, end)) in ranges.iter().enumerate() {
+            let (chunk, tail) = rest.shard_split(end - start);
+            rest = tail;
+            let _guard = WorkerGuard::enter();
+            f(Shard { index, start, end }, chunk, &mut scratch[index]);
+        }
+        return;
+    }
+    let (first_cols, mut rest_cols) = cols.shard_split(ranges[0].1);
+    let (first_scratch, mut rest_scratch) = scratch.split_at_mut(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranges.len() - 1);
+        for (index, &(start, end)) in ranges.iter().enumerate().skip(1) {
+            let (chunk, tail) = rest_cols.shard_split(end - start);
+            rest_cols = tail;
+            let (slot, tail) = rest_scratch.split_at_mut(1);
+            rest_scratch = tail;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let _guard = WorkerGuard::enter();
+                f(Shard { index, start, end }, chunk, &mut slot[0]);
+            }));
+        }
+        // The calling thread works shard 0 itself instead of parking.
+        {
+            let _guard = WorkerGuard::enter();
+            f(
+                Shard { index: 0, start: 0, end: ranges[0].1 },
+                first_cols,
+                &mut first_scratch[0],
+            );
+        }
+        join_all(handles);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
 
-    /// Serializes tests that mutate `RTHS_THREADS` (process-global state).
-    static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-        let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        // Restore (not delete) the ambient value afterwards — CI runs the
-        // suite with RTHS_THREADS=2 and later tests must still see it.
-        let prior = std::env::var("RTHS_THREADS").ok();
-        std::env::set_var("RTHS_THREADS", n.to_string());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-        match prior {
-            Some(value) => std::env::set_var("RTHS_THREADS", value),
-            None => std::env::remove_var("RTHS_THREADS"),
-        }
-        match result {
-            Ok(value) => value,
-            Err(payload) => std::panic::resume_unwind(payload),
-        }
+    #[test]
+    fn parse_threads_handles_the_env_shapes() {
+        assert_eq!(parse_threads(None), 1);
+        assert_eq!(parse_threads(Some("not-a-number")), 1);
+        assert_eq!(parse_threads(Some("0")), 1);
+        assert_eq!(parse_threads(Some(" 3 ")), 3);
+        assert_eq!(parse_threads(Some("8")), 8);
+        assert_eq!(parse_threads(Some("")), 1);
+        assert_eq!(parse_threads(Some("-2")), 1);
     }
 
     #[test]
-    fn threads_defaults_to_one() {
-        let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        let prior = std::env::var("RTHS_THREADS").ok();
-        std::env::remove_var("RTHS_THREADS");
-        assert_eq!(threads(), 1);
-        std::env::set_var("RTHS_THREADS", "not-a-number");
-        assert_eq!(threads(), 1);
-        std::env::set_var("RTHS_THREADS", "0");
-        assert_eq!(threads(), 1);
-        std::env::set_var("RTHS_THREADS", " 3 ");
-        assert_eq!(threads(), 3);
-        match prior {
-            Some(value) => std::env::set_var("RTHS_THREADS", value),
-            None => std::env::remove_var("RTHS_THREADS"),
-        }
+    fn threads_prefers_override_then_env() {
+        // The override is thread-local, so this test cannot race the rest
+        // of the suite regardless of what RTHS_THREADS is set to.
+        let ambient = threads();
+        let inside = with_threads(3, threads);
+        assert_eq!(inside, 3);
+        let nested = with_threads(5, || (threads(), with_threads(2, threads), threads()));
+        assert_eq!(nested, (5, 2, 5));
+        assert_eq!(threads(), ambient, "override leaked past its scope");
+    }
+
+    #[test]
+    fn override_is_restored_on_panic() {
+        let ambient = threads();
+        let result = std::panic::catch_unwind(|| with_threads(7, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(threads(), ambient, "override leaked past a panic");
     }
 
     #[test]
@@ -458,6 +691,80 @@ mod tests {
         let inner_sum: usize = (0..128).sum();
         let expected: Vec<usize> = (0..128).map(|o| o * inner_sum).collect();
         assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn par_sharded_covers_every_index_with_affine_scratch() {
+        // Three columns (one strided) + per-shard scratch: every item is
+        // visited exactly once with consistent absolute indices, and each
+        // shard sees only its own scratch slot.
+        let n = 300;
+        let stride = 3;
+        let mut a: Vec<u64> = vec![0; n];
+        let mut b: Vec<u64> = (0..n as u64).collect();
+        let mut flat = vec![0u64; n * stride];
+        for shards in [1usize, 2, 4, 7] {
+            a.fill(0);
+            flat.fill(0);
+            let mut scratch = vec![0u64; shards];
+            par_sharded(
+                n,
+                shards,
+                ((&mut a[..], &mut b[..]), Strided::new(stride, &mut flat[..])),
+                &mut scratch,
+                |shard, ((a, b), mut flat), count| {
+                    assert_eq!(shard.len(), a.len());
+                    assert!(!shard.is_empty());
+                    for i in 0..a.len() {
+                        let abs = shard.start + i;
+                        a[i] += abs as u64 + 1;
+                        assert_eq!(b[i], abs as u64);
+                        flat.row(i)[0] = abs as u64;
+                        *count += 1;
+                    }
+                },
+            );
+            let total: u64 = scratch.iter().sum();
+            assert_eq!(total, n as u64, "scratch counts wrong at {shards} shards");
+            for (i, &v) in a.iter().enumerate() {
+                assert_eq!(v, i as u64 + 1, "item {i} not visited exactly once");
+                assert_eq!(flat[i * stride], i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn par_sharded_runs_inline_inside_a_worker() {
+        // From inside a parallel region the shards execute on the calling
+        // worker (no T×T thread blow-up), preserving shard structure.
+        let outer = [0u8; 2];
+        let ids = with_threads(2, || {
+            par_map(&outer, |_, _| {
+                let me = std::thread::current().id();
+                let mut col = [0u8; 128];
+                let mut seen = vec![None; 4];
+                par_sharded(128, 4, &mut col[..], &mut seen, |_, _, slot| {
+                    *slot = Some(std::thread::current().id());
+                });
+                (me, seen)
+            })
+        });
+        for (worker, seen) in ids {
+            assert!(seen.iter().all(|&id| id == Some(worker)), "shard left its worker");
+        }
+    }
+
+    #[test]
+    fn par_sharded_empty_input_is_a_noop() {
+        let mut col: Vec<u8> = Vec::new();
+        par_sharded(0, 4, &mut col[..], &mut [0u8; 4], |_, _, _| panic!("must not run"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one scratch slot per shard")]
+    fn par_sharded_rejects_short_scratch() {
+        let mut col = [0u8; 100];
+        par_sharded(100, 4, &mut col[..], &mut [0u8; 2], |_, _, _| {});
     }
 
     #[test]

@@ -238,7 +238,9 @@ impl<A: Actor> Reactor<A> {
                 continue;
             }
             let Some(deadline) = self.wheel.next_deadline() else { break };
-            debug_assert!(deadline > self.now, "timer scheduled in the past");
+            // `>=` (not `>`): the wheel clamps stale deadlines to its
+            // current tick, which can equal the reactor's `now`.
+            debug_assert!(deadline >= self.now, "timer scheduled in the past");
             self.now = self.now.max(deadline);
             for (to, msg) in self.wheel.fire_due(self.now) {
                 self.slots[to.0].inbox.push_back(msg);
@@ -291,26 +293,13 @@ impl<A: Actor> Reactor<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
 
-    /// Serializes tests that mutate `RTHS_THREADS` (process-global state);
-    /// same discipline as the `rths_par` tests.
-    static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-        let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        let prior = std::env::var("RTHS_THREADS").ok();
-        std::env::set_var("RTHS_THREADS", n.to_string());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-        match prior {
-            Some(value) => std::env::set_var("RTHS_THREADS", value),
-            None => std::env::remove_var("RTHS_THREADS"),
-        }
-        match result {
-            Ok(value) => value,
-            Err(payload) => std::panic::resume_unwind(payload),
-        }
-    }
+    // Worker-count sweeps go through the scoped `rths_par` override: it
+    // is thread-local, so tests never mutate the process environment
+    // (`std::env::set_var` is racy under the multithreaded test harness
+    // and `unsafe` in newer toolchains). The `RTHS_THREADS` variable
+    // remains the outermost default for unswept runs.
+    use rths_par::with_threads;
 
     /// Test actor: accumulates a hash of received values and forwards a
     /// mixed value to a topology-determined neighbour while `hops` remain.

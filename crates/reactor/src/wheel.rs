@@ -10,6 +10,16 @@
 //! Firing order is deterministic: entries that share a deadline fire in
 //! schedule order (a monotone sequence number breaks ties), independent of
 //! bucket layout and worker count.
+//!
+//! # Stale deadlines
+//!
+//! The wheel tracks the latest tick it has fired
+//! ([`now`](TimerWheel::now)). Scheduling a deadline **at or before** that
+//! tick is well-defined: the entry is clamped to `now` and fires on the
+//! next poll. Without the clamp a stale entry would hash into a bucket
+//! whose tick may already have been drained, where
+//! [`fire_due`](TimerWheel::fire_due) could never match it again — the
+//! reactor's idle loop would then spin on a deadline that never clears.
 
 use crate::reactor::ActorId;
 
@@ -32,6 +42,9 @@ pub struct TimerWheel<M> {
     buckets: Vec<Vec<Entry<M>>>,
     pending: usize,
     seq: u64,
+    /// Latest tick [`fire_due`](Self::fire_due) has drained; stale
+    /// schedules clamp to it.
+    now: u64,
 }
 
 impl<M> Default for TimerWheel<M> {
@@ -53,7 +66,7 @@ impl<M> TimerWheel<M> {
     /// Panics if `buckets` is zero.
     pub fn with_buckets(buckets: usize) -> Self {
         assert!(buckets > 0, "timer wheel needs at least one bucket");
-        Self { buckets: (0..buckets).map(|_| Vec::new()).collect(), pending: 0, seq: 0 }
+        Self { buckets: (0..buckets).map(|_| Vec::new()).collect(), pending: 0, seq: 0, now: 0 }
     }
 
     /// Number of pending timers.
@@ -66,8 +79,21 @@ impl<M> TimerWheel<M> {
         self.pending == 0
     }
 
+    /// The latest tick this wheel has fired (0 before the first firing).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
     /// Schedules `msg` for delivery to `to` at logical tick `fire_at`.
+    ///
+    /// A `fire_at` at or before the wheel's [`now`](Self::now) is
+    /// **clamped to `now`**: the tick's bucket may already have been
+    /// drained, so re-hashing the entry into it would strand the timer
+    /// (and spin the reactor's idle loop forever). The clamped entry
+    /// fires on the next poll of its deadline, after everything already
+    /// scheduled there (schedule order is preserved).
     pub fn schedule(&mut self, fire_at: u64, to: ActorId, msg: M) {
+        let fire_at = fire_at.max(self.now);
         let bucket = (fire_at % self.buckets.len() as u64) as usize;
         self.buckets[bucket].push(Entry { fire_at, seq: self.seq, to, msg });
         self.seq += 1;
@@ -81,7 +107,10 @@ impl<M> TimerWheel<M> {
 
     /// Removes and returns every timer due exactly at `now`, in schedule
     /// order. Timers hashed into the same bucket but due later stay put.
+    /// Advances the wheel's clock: later [`schedule`](Self::schedule)
+    /// calls clamp to the highest tick fired so far.
     pub fn fire_due(&mut self, now: u64) -> Vec<(ActorId, M)> {
+        self.now = self.now.max(now);
         let bucket = (now % self.buckets.len() as u64) as usize;
         let slot = &mut self.buckets[bucket];
         if slot.iter().all(|e| e.fire_at != now) {
@@ -154,5 +183,42 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_buckets_rejected() {
         let _ = TimerWheel::<()>::with_buckets(0);
+    }
+
+    #[test]
+    fn stale_deadline_clamps_to_now_and_still_fires() {
+        // Ticks 1 and 5 share bucket 1 in a 4-bucket wheel. After tick 5
+        // has fired, a schedule for tick 1 would re-hash into the already
+        // drained bucket and never match fire_due again — the clamp pins
+        // it to the wheel's current tick instead.
+        let mut w = TimerWheel::with_buckets(4);
+        w.schedule(5, ActorId(0), "on-time");
+        assert_eq!(w.fire_due(5), vec![(ActorId(0), "on-time")]);
+        assert_eq!(w.now(), 5);
+
+        w.schedule(1, ActorId(1), "stale");
+        assert_eq!(w.len(), 1);
+        // The entry is observable at the clamped deadline, not the stale
+        // one: the reactor's idle loop can reach it.
+        assert_eq!(w.next_deadline(), Some(5));
+        assert_eq!(w.fire_due(5), vec![(ActorId(1), "stale")]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stale_deadline_fires_after_entries_already_at_now() {
+        let mut w = TimerWheel::with_buckets(8);
+        let _ = w.fire_due(9);
+        w.schedule(9, ActorId(0), 1u32);
+        w.schedule(2, ActorId(0), 2u32); // clamped to 9, scheduled later
+        assert_eq!(w.fire_due(9), vec![(ActorId(0), 1), (ActorId(0), 2)]);
+    }
+
+    #[test]
+    fn clock_does_not_move_backwards() {
+        let mut w: TimerWheel<()> = TimerWheel::with_buckets(4);
+        let _ = w.fire_due(7);
+        let _ = w.fire_due(3);
+        assert_eq!(w.now(), 7);
     }
 }

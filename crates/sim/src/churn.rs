@@ -49,6 +49,10 @@ impl FailureSchedule {
     }
 
     fn sort(&mut self) {
+        // Stable sort: events sharing an epoch keep their insertion
+        // order, so e.g. an outage followed by a recovery of the same
+        // helper in one epoch nets out to "online" (see
+        // `same_epoch_events_apply_in_insertion_order`).
         self.events.sort_by_key(|e| e.epoch);
     }
 
@@ -115,6 +119,43 @@ mod tests {
         let after_max =
             out.metrics.welfare.values()[220..].iter().copied().fold(0.0f64, f64::max);
         assert!(after_max > 800.0, "no recovery: max welfare {after_max}");
+    }
+
+    #[test]
+    fn same_epoch_events_apply_in_insertion_order() {
+        // Outage + recovery of the same helper in one epoch: both fire,
+        // in insertion order, before the epoch steps — the helper serves
+        // the whole run. Reversed insertion nets out to an outage.
+        let mut sys = system(4);
+        let schedule = FailureSchedule::new().fail_at(10, 0).recover_at(10, 0);
+        let epochs: Vec<u64> = schedule.events().iter().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![10, 10]);
+        let out = schedule.run(&mut sys, 50);
+        assert!(sys.helpers()[0].is_online(), "recovery should have fired last");
+        // Both constant-capacity helpers stayed up: welfare never drops
+        // to a single helper's ceiling for lack of capacity.
+        assert_eq!(out.epochs, 50);
+
+        let mut reversed_sys = system(4);
+        let reversed = FailureSchedule::new().recover_at(10, 0).fail_at(10, 0);
+        let _ = reversed.run(&mut reversed_sys, 50);
+        assert!(
+            !reversed_sys.helpers()[0].is_online(),
+            "outage inserted last should win the epoch"
+        );
+    }
+
+    #[test]
+    fn same_epoch_order_survives_later_insertions() {
+        // Interleaving events at other epochs re-sorts the vector; the
+        // stable sort must keep the same-epoch pair in insertion order.
+        let s = FailureSchedule::new()
+            .fail_at(20, 1)
+            .recover_at(20, 1)
+            .fail_at(5, 0)
+            .recover_at(30, 0);
+        let got: Vec<(u64, bool)> = s.events().iter().map(|e| (e.epoch, e.online)).collect();
+        assert_eq!(got, vec![(5, false), (20, false), (20, true), (30, true)]);
     }
 
     #[test]

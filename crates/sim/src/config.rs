@@ -271,6 +271,33 @@ impl Learner for AnyLearner {
 }
 
 impl LearnerSpec {
+    /// The shared [`RthsConfig`] learners of this spec run against for
+    /// `num_actions` actions, deriving `μ` from `rate_scale` when unset.
+    /// The sharded peer stores build this **once per channel** and keep
+    /// only the compact per-peer state per peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if parameters are invalid.
+    pub fn rths_config(
+        &self,
+        num_actions: usize,
+        rate_scale: f64,
+    ) -> Result<RthsConfig, ConfigError> {
+        let mu = self.mu.unwrap_or(4.0 * rate_scale);
+        let recency = match self.algorithm {
+            Algorithm::RegretMatching => RecencyMode::Uniform,
+            _ => RecencyMode::Exponential,
+        };
+        RthsConfig::builder(num_actions)
+            .epsilon(self.epsilon)
+            .delta(self.delta)
+            .mu(mu)
+            .recency(recency)
+            .conditional(self.conditional)
+            .build()
+    }
+
     /// Builds a live learner over `num_actions` actions, deriving `μ`
     /// from `rate_scale` — the typical per-peer received rate (fair
     /// share, possibly demand-capped) — when `mu` is unset.
@@ -283,18 +310,7 @@ impl LearnerSpec {
         num_actions: usize,
         rate_scale: f64,
     ) -> Result<AnyLearner, ConfigError> {
-        let mu = self.mu.unwrap_or(4.0 * rate_scale);
-        let recency = match self.algorithm {
-            Algorithm::RegretMatching => RecencyMode::Uniform,
-            _ => RecencyMode::Exponential,
-        };
-        let config = RthsConfig::builder(num_actions)
-            .epsilon(self.epsilon)
-            .delta(self.delta)
-            .mu(mu)
-            .recency(recency)
-            .conditional(self.conditional)
-            .build()?;
+        let config = self.rths_config(num_actions, rate_scale)?;
         Ok(match self.algorithm {
             Algorithm::Rths => AnyLearner::Rths(RthsLearner::new(config)),
             Algorithm::RegretMatching => {

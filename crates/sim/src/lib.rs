@@ -46,6 +46,7 @@ pub mod peer;
 pub mod playback;
 pub mod scenario;
 pub mod server;
+pub mod store;
 pub mod system;
 pub mod workload;
 
@@ -56,4 +57,5 @@ pub use multichannel::{
 };
 pub use playback::{PlaybackBuffer, PlaybackStats};
 pub use scenario::Scenario;
+pub use store::{LearnerCell, PeerStore};
 pub use system::{Outcome, System};

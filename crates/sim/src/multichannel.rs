@@ -23,8 +23,8 @@ use rths_stoch::Zipf;
 use crate::channel::Channel;
 use crate::config::{BandwidthSpec, LearnerSpec};
 use crate::helper::{Helper, HelperId};
-use crate::peer::{Peer, PeerId};
 use crate::server::StreamingServer;
+use crate::store::{PeerStore, ShardScratch};
 
 /// How a helper divides its upload capacity among the channels it serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -306,10 +306,11 @@ fn split_templates(channels: usize) -> Vec<Vec<f64>> {
 #[derive(Debug, Default)]
 struct McScratch {
     /// Local action (index into the channel's helper list) per peer.
-    locals: Vec<usize>,
+    locals: Vec<u32>,
     /// Global helper index per peer.
-    globals: Vec<usize>,
-    /// Viewers of channel `c` connected to helper `j`, flattened.
+    globals: Vec<u32>,
+    /// Viewers of channel `c` connected to helper `j`, flattened (merged
+    /// from the per-shard histograms in shard order).
     loads: Vec<usize>,
     /// Bandwidth helper `j` assigns to channel `c`, flattened.
     bandwidth: Vec<f64>,
@@ -327,6 +328,8 @@ struct McScratch {
     residuals: Vec<f64>,
     /// Throughput delivered via each helper.
     helper_delivered: Vec<f64>,
+    /// Per-shard thread-affine scratch.
+    shards: Vec<ShardScratch>,
 }
 
 /// The two-level multi-channel system.
@@ -339,9 +342,10 @@ pub struct MultiChannelSystem {
     /// Per-helper allocation learners (only for
     /// [`AllocationPolicy::Learned`]).
     helper_learners: Vec<Option<HelperAllocator>>,
-    /// Viewers grouped by channel (learner action = index into that
-    /// channel's helper list).
-    peers: Vec<Peer>,
+    /// Viewers in the sharded SoA store, grouped by channel at
+    /// construction (learner action = index into the channel's helper
+    /// list).
+    peers: PeerStore,
     /// `channel_helpers[c]` — global helper indices serving channel `c`.
     channel_helpers: Vec<Vec<usize>>,
     server: StreamingServer,
@@ -400,18 +404,17 @@ impl MultiChannelSystem {
         let min_bitrate =
             config.channels.iter().map(Channel::bitrate).fold(f64::INFINITY, f64::min);
         let rate_scale = (total_cap / total_viewers.max(1) as f64).min(min_bitrate);
-        let mut peers = Vec::new();
-        let mut next_id = 0u64;
+        let actions_per_channel: Vec<usize> =
+            channel_helpers.iter().map(|chans| chans.len()).collect();
+        let mut peers = PeerStore::new(
+            config.seed,
+            config.learner.clone(),
+            rate_scale,
+            &actions_per_channel,
+        );
         for (c, &count) in config.viewers.iter().enumerate() {
             for _ in 0..count {
-                let actions = channel_helpers[c].len();
-                let learner = config
-                    .learner
-                    .instantiate(actions.max(1), rate_scale)
-                    .expect("validated learner spec");
-                let rng = entity_rng(config.seed, next_id);
-                peers.push(Peer::new(PeerId(next_id), learner, rng, c, 0));
-                next_id += 1;
+                peers.spawn(c, 0);
             }
         }
         let channel_rate_sums = vec![0.0; k];
@@ -474,6 +477,18 @@ impl MultiChannelSystem {
         self.peers.len()
     }
 
+    /// The sharded SoA peer store (stable ids, per-peer accounting).
+    pub fn peers(&self) -> &PeerStore {
+        &self.peers
+    }
+
+    /// Pins the peer-store shard count (tests/benches); `None` restores
+    /// the default derived from [`rths_par::threads`]. Results are
+    /// bit-identical at any setting.
+    pub fn set_shards(&mut self, shards: Option<usize>) {
+        self.peers.set_shards(shards);
+    }
+
     /// Current epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -489,14 +504,13 @@ impl MultiChannelSystem {
     pub fn migrate_viewers(&mut self, from: usize, to: usize, count: usize) {
         let k = self.config.channels.len();
         assert!(from < k && to < k, "unknown channel");
-        let actions = self.channel_helpers[to].len().max(1);
         let mut moved = 0;
-        for peer in self.peers.iter_mut() {
+        for slot in 0..self.peers.len() {
             if moved == count {
                 break;
             }
-            if peer.channel() == from {
-                peer.set_channel(to, actions);
+            if self.peers.channel(slot) == from {
+                self.peers.set_channel(slot, to);
                 moved += 1;
             }
         }
@@ -519,6 +533,7 @@ impl MultiChannelSystem {
 
         let n = self.peers.len();
         let bitrates = &self.bitrates;
+        let channel_helpers = &self.channel_helpers;
         let McScratch {
             locals,
             globals,
@@ -532,27 +547,32 @@ impl MultiChannelSystem {
             delivered,
             residuals,
             helper_delivered,
+            shards,
         } = &mut self.scratch;
 
         // Peer-level helper selection (local action index into the
-        // channel's helper list). Parallel over peers: each peer samples
-        // from its own RNG stream, so the profile is independent of the
-        // worker partition.
-        locals.clear();
+        // channel's helper list), shard-parallel over the peer store:
+        // each peer samples from its own RNG stream, so the profile is
+        // independent of the shard partition. Each shard accumulates its
+        // own loads[j*k + c] histogram (viewers of channel c connected to
+        // helper j) and resolves the global helper index into `globals`;
+        // the histograms merge in shard order (integer counts).
+        // resize without clear: the phase writes every slot of both
+        // columns, so no per-epoch memset is needed.
         locals.resize(n, 0);
-        rths_par::par_zip_mut(&mut self.peers, locals, |_, peer, slot| {
-            *slot = peer.choose_helper();
-        });
-        // loads[j*k + c] = viewers of channel c connected to helper j.
-        loads.clear();
-        loads.resize(h * k, 0);
-        globals.clear();
-        for (peer, &local) in self.peers.iter().zip(locals.iter()) {
-            let c = peer.channel();
-            let global = self.channel_helpers[c][local];
-            loads[global * k + c] += 1;
-            globals.push(global);
-        }
+        globals.resize(n, 0);
+        self.peers.choose_phase(
+            locals,
+            globals,
+            loads,
+            h * k,
+            shards,
+            |_, local, c, global_slot, loads| {
+                let global = channel_helpers[c as usize][local as usize];
+                *global_slot = global as u32;
+                loads[global * k + c as usize] += 1;
+            },
+        );
 
         // Helper-level bandwidth allocation across channels.
         bandwidth.clear();
@@ -602,44 +622,43 @@ impl MultiChannelSystem {
             join_offsets.push(join_rates.len());
         }
 
-        // Delivery and bandit feedback (parallel). Each peer's rate lands
-        // in an index-aligned slot; every order-sensitive float reduction
-        // happens below in peer order, so results are bit-identical at
-        // any thread count.
-        delivered.clear();
+        // Delivery and bandit feedback (shard-parallel). Each peer's rate
+        // lands in an index-aligned slot; every order-sensitive float
+        // reduction happens below in peer order, so results are
+        // bit-identical at any shard count.
         delivered.resize(n, 0.0);
-        {
-            let locals = &*locals;
+        let (_, worst_emp) = {
             let globals = &*globals;
             let loads = &*loads;
             let bandwidth = &*bandwidth;
-            let join_offsets = &*join_offsets;
-            let join_rates = &*join_rates;
-            rths_par::par_zip_mut(&mut self.peers, delivered, move |i, peer, slot| {
-                let c = peer.channel();
-                let d = bitrates[c];
-                let global = globals[i];
-                let n_c = loads[global * k + c];
-                let share = if n_c == 0 { 0.0 } else { bandwidth[global * k + c] / n_c as f64 };
-                let rate = share.min(d);
-                peer.deliver(rate, rate >= d - 1e-9);
-                peer.record_true_regret(
-                    locals[i],
-                    rate,
-                    &join_rates[join_offsets[c]..join_offsets[c + 1]],
-                );
-                *slot = rate;
-            });
-        }
+            self.peers.observe_phase(
+                locals,
+                delivered,
+                join_offsets,
+                join_rates,
+                shards,
+                // This engine never recorded the learners' internal
+                // regret estimates — skip the O(m²) per-peer scan.
+                false,
+                move |i, _, c| {
+                    let c = c as usize;
+                    let d = bitrates[c];
+                    let global = globals[i] as usize;
+                    let n_c = loads[global * k + c];
+                    let share =
+                        if n_c == 0 { 0.0 } else { bandwidth[global * k + c] / n_c as f64 };
+                    let rate = share.min(d);
+                    (rate, rate >= d - 1e-9)
+                },
+            )
+        };
         let mut welfare = 0.0;
-        let mut worst_emp: f64 = 0.0;
         helper_delivered.clear();
         helper_delivered.resize(h, 0.0);
         residuals.clear();
-        for (i, (peer, &rate)) in self.peers.iter().zip(delivered.iter()).enumerate() {
-            let c = peer.channel();
-            worst_emp = worst_emp.max(peer.empirical_regret());
-            helper_delivered[globals[i]] += rate;
+        for (i, &rate) in delivered.iter().enumerate() {
+            let c = self.peers.channel(i);
+            helper_delivered[globals[i] as usize] += rate;
             welfare += rate;
             self.channel_rate_sums[c] += rate;
             residuals.push((bitrates[c] - rate).max(0.0));
@@ -651,7 +670,8 @@ impl MultiChannelSystem {
                 alloc.record(dlv);
             }
         }
-        let total_demand: f64 = self.peers.iter().map(|p| bitrates[p.channel()]).sum();
+        let total_demand: f64 =
+            (0..self.peers.len()).map(|i| bitrates[self.peers.channel(i)]).sum();
         let helper_min: f64 = self.helpers.iter().map(Helper::min_capacity).sum();
         let helper_now: f64 = self.helpers.iter().map(Helper::capacity).sum();
         let epoch_result =
@@ -672,10 +692,11 @@ impl MultiChannelSystem {
         let mut continuity_sums = vec![0.0; k];
         let mut continuity_counts = vec![0usize; k];
         let mut viewer_rates = Vec::with_capacity(self.peers.len());
-        for p in &self.peers {
-            continuity_sums[p.channel()] += p.continuity();
-            continuity_counts[p.channel()] += 1;
-            viewer_rates.push(p.mean_rate());
+        for slot in 0..self.peers.len() {
+            let c = self.peers.channel(slot);
+            continuity_sums[c] += self.peers.continuity(slot);
+            continuity_counts[c] += 1;
+            viewer_rates.push(self.peers.mean_rate(slot));
         }
         let channel_continuity: Vec<f64> = continuity_sums
             .iter()
@@ -834,9 +855,12 @@ mod tests {
     #[test]
     fn migration_moves_viewers() {
         let mut sys = standard(AllocationPolicy::WaterFilling, 4);
-        let before: usize = sys.peers.iter().filter(|p| p.channel() == 0).count();
+        let on_channel = |sys: &MultiChannelSystem, c| {
+            (0..sys.peers.len()).filter(|&i| sys.peers.channel(i) == c).count()
+        };
+        let before = on_channel(&sys, 0);
         sys.migrate_viewers(0, 3, 5);
-        let after: usize = sys.peers.iter().filter(|p| p.channel() == 0).count();
+        let after = on_channel(&sys, 0);
         assert_eq!(before - 5, after);
         // System still runs after migration.
         let out = sys.run(50);

@@ -1,0 +1,784 @@
+//! The sharded structure-of-arrays peer store.
+//!
+//! Both engines ([`crate::System`] and [`crate::MultiChannelSystem`])
+//! keep their peer population here instead of a `Vec<Peer>`. The store
+//! holds one flat column per field — stable `u64` ids, `u32` channel and
+//! helper indices, the per-entity RNG streams, compact learner state
+//! (shared [`RthsConfig`] per channel + [`RthsState`] per peer, see
+//! `rths_core::compact`), the accounting scalars, and one flat `f64`
+//! true-regret row per peer — so a million-peer population is a handful
+//! of large allocations with unit-stride hot loops instead of a million
+//! scattered structs.
+//!
+//! # Sharding
+//!
+//! The per-peer phases of an epoch (choose a helper, observe the realized
+//! rate) run shard-parallel through [`rths_par::par_sharded`]: peers are
+//! partitioned into contiguous index ranges, each shard gets the matching
+//! range of **every** column plus its own [`ShardScratch`] (thread-affine
+//! load histogram, learner row scratch, metric maxima) and the slice of
+//! the per-entity RNG streams its range covers. All order-sensitive float
+//! reductions stay index-ordered — either sequentially after the phase or
+//! by merging per-shard accumulators that are order-insensitive (integer
+//! histograms, `max` folds over non-negative values) in shard order — so
+//! the engines are **bit-for-bit identical at any shard count and any
+//! `RTHS_THREADS`**.
+//!
+//! # Stable identity under churn
+//!
+//! Peer ids are monotone `u64`s, never reused, and travel with their row.
+//! Departures compact every column **order-preservingly** (survivors keep
+//! their relative order), so a removal can never alias one peer's slot —
+//! and therefore its RNG stream, learner state, or regret row — onto
+//! another's. The historical `Vec::swap_remove` churn path moved the last
+//! peer into the departed peer's index, a re-aliasing hazard that a
+//! column store would have turned into silent state corruption; the
+//! departure-stability test in `tests/churn_and_failures.rs` pins the
+//! fixed behaviour.
+
+use rand::rngs::StdRng;
+
+use rths_core::{Learner, RthsConfig, RthsState};
+use rths_par::{par_sharded, Strided};
+use rths_stoch::rng::entity_rng;
+
+use crate::config::{Algorithm, AnyLearner, LearnerSpec};
+
+/// Sentinel for "no helper chosen yet" in the `last_helper` column.
+pub const NO_HELPER: u32 = u32::MAX;
+
+/// One peer's learner in the store: the default RTHS algorithm keeps only
+/// its compact split state (the shared per-channel [`RthsConfig`] lives
+/// once on the store); other algorithms stay self-contained and are boxed
+/// so the common case's column stays dense.
+#[derive(Debug, Clone)]
+pub enum LearnerCell {
+    /// Compact recursive-RTHS state (the default algorithm).
+    Rths(RthsState),
+    /// Any other algorithm, boxed.
+    Boxed(Box<AnyLearner>),
+}
+
+impl LearnerCell {
+    fn select_action(&mut self, rng: &mut StdRng) -> usize {
+        match self {
+            LearnerCell::Rths(state) => state.select_action(rng),
+            LearnerCell::Boxed(learner) => learner.select_action(rng),
+        }
+    }
+
+    fn observe(&mut self, config: &RthsConfig, utility: f64, row_scratch: &mut Vec<f64>) {
+        match self {
+            LearnerCell::Rths(state) => state.observe(config, utility, row_scratch),
+            LearnerCell::Boxed(learner) => learner.observe(utility),
+        }
+    }
+
+    fn max_regret(&self, config: &RthsConfig) -> f64 {
+        match self {
+            LearnerCell::Rths(state) => state.max_regret(config),
+            LearnerCell::Boxed(learner) => learner.max_regret(),
+        }
+    }
+
+    fn reset_actions(&mut self, num_actions: usize) {
+        match self {
+            LearnerCell::Rths(state) => state.reset_actions(num_actions),
+            LearnerCell::Boxed(learner) => learner.reset_actions(num_actions),
+        }
+    }
+
+    /// The current mixed strategy.
+    pub fn probabilities(&self) -> &[f64] {
+        match self {
+            LearnerCell::Rths(state) => state.probabilities(),
+            LearnerCell::Boxed(learner) => learner.probabilities(),
+        }
+    }
+
+    /// Stages observed so far.
+    pub fn stage(&self) -> u64 {
+        match self {
+            LearnerCell::Rths(state) => state.stage(),
+            LearnerCell::Boxed(learner) => learner.stage(),
+        }
+    }
+}
+
+/// Thread-affine per-shard scratch, owned by one shard for the duration
+/// of a phase and reused across epochs (capacity is retained).
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    /// The shard's private load histogram (indexing is engine-defined:
+    /// `helper` for the single-channel engine, `helper·k + channel` for
+    /// the multi-channel engine). Integer counts, so the post-phase merge
+    /// in shard order is order-insensitive.
+    pub loads: Vec<usize>,
+    /// Regret-row scratch shared by the shard's compact learners.
+    row: Vec<f64>,
+    /// Shard-local maximum of the learners' internal regret estimates.
+    worst_estimate: f64,
+    /// Shard-local maximum of the peers' empirical regrets.
+    worst_empirical: f64,
+}
+
+/// The sharded SoA peer population. See the module docs for layout and
+/// determinism contract.
+#[derive(Debug)]
+pub struct PeerStore {
+    seed: u64,
+    spec: LearnerSpec,
+    rate_scale: f64,
+    /// Learner action count per channel (`max(1)`-floored, matching the
+    /// engines' historical instantiation).
+    actions: Vec<u32>,
+    /// Shared learner config per channel, used by the compact RTHS cells.
+    configs: Vec<RthsConfig>,
+    /// Uniform stride of the flat true-regret rows: the largest `m²` over
+    /// channels, so rows stay index-aligned under churn compaction.
+    regret_stride: usize,
+    /// Fixed shard count for tests/benches; `None` derives it from
+    /// [`rths_par::threads`] per phase.
+    shard_override: Option<usize>,
+    next_id: u64,
+    // === index-aligned SoA columns ===
+    ids: Vec<u64>,
+    channels: Vec<u32>,
+    joined_at: Vec<u64>,
+    rngs: Vec<StdRng>,
+    learners: Vec<LearnerCell>,
+    total_rate: Vec<f64>,
+    epochs_online: Vec<u64>,
+    epochs_served: Vec<u64>,
+    satisfied_epochs: Vec<u64>,
+    /// Last chosen helper ([`NO_HELPER`] before the first choice).
+    last_helper: Vec<u32>,
+    switches: Vec<u64>,
+    /// Flat true-regret rows, `regret_stride` scalars per peer, laid out
+    /// `played·m + alternative` within the row (trailing slack is zero).
+    regret_sums: Vec<f64>,
+    regret_stages: Vec<u64>,
+    /// Action-set arity the regret row currently represents (0 before
+    /// the first record). The row resets **lazily** at the next record
+    /// when the arity changed — the historical semantics, under which a
+    /// round-trip channel migration back to the original arity keeps
+    /// its accumulated regret history.
+    regret_len: Vec<u32>,
+}
+
+impl PeerStore {
+    /// Creates an empty store for peers learning over `actions_per_channel`
+    /// helper sets (one entry per channel; single-channel engines pass one
+    /// entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the learner spec is invalid or no channel is given.
+    pub fn new(
+        seed: u64,
+        spec: LearnerSpec,
+        rate_scale: f64,
+        actions_per_channel: &[usize],
+    ) -> Self {
+        assert!(!actions_per_channel.is_empty(), "need at least one channel");
+        let actions: Vec<u32> = actions_per_channel.iter().map(|&m| m.max(1) as u32).collect();
+        let configs: Vec<RthsConfig> = actions
+            .iter()
+            .map(|&m| {
+                spec.rths_config(m as usize, rate_scale)
+                    .expect("learner spec validated by construction")
+            })
+            .collect();
+        let regret_stride =
+            actions.iter().map(|&m| (m as usize) * (m as usize)).max().unwrap_or(1);
+        Self {
+            seed,
+            spec,
+            rate_scale,
+            actions,
+            configs,
+            regret_stride,
+            shard_override: None,
+            next_id: 0,
+            ids: Vec::new(),
+            channels: Vec::new(),
+            joined_at: Vec::new(),
+            rngs: Vec::new(),
+            learners: Vec::new(),
+            total_rate: Vec::new(),
+            epochs_online: Vec::new(),
+            epochs_served: Vec::new(),
+            satisfied_epochs: Vec::new(),
+            last_helper: Vec::new(),
+            switches: Vec::new(),
+            regret_sums: Vec::new(),
+            regret_stages: Vec::new(),
+            regret_len: Vec::new(),
+        }
+    }
+
+    /// Online peers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Pins the shard count (tests/benches); `None` restores the default
+    /// (derived from [`rths_par::threads`] per phase). Results are
+    /// bit-identical at any setting.
+    pub fn set_shards(&mut self, shards: Option<usize>) {
+        assert!(shards != Some(0), "shard count must be positive");
+        self.shard_override = shards;
+    }
+
+    /// Learner action count on `channel`.
+    pub fn actions_on(&self, channel: usize) -> usize {
+        self.actions[channel] as usize
+    }
+
+    /// The shared learner config of `channel`.
+    pub fn config_of(&self, channel: usize) -> &RthsConfig {
+        &self.configs[channel]
+    }
+
+    /// Spawns a peer on `channel` at `epoch`, returning its stable id.
+    /// The peer's RNG stream is derived from `(seed, id)`, so it is
+    /// independent of slot position and churn history.
+    pub fn spawn(&mut self, channel: usize, epoch: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let m = self.actions[channel] as usize;
+        self.ids.push(id);
+        self.channels.push(channel as u32);
+        self.joined_at.push(epoch);
+        self.rngs.push(entity_rng(self.seed, id));
+        self.learners.push(match self.spec.algorithm {
+            Algorithm::Rths => LearnerCell::Rths(RthsState::new(&self.configs[channel])),
+            _ => LearnerCell::Boxed(Box::new(
+                self.spec
+                    .instantiate(m, self.rate_scale)
+                    .expect("learner spec validated by construction"),
+            )),
+        });
+        self.total_rate.push(0.0);
+        self.epochs_online.push(0);
+        self.epochs_served.push(0);
+        self.satisfied_epochs.push(0);
+        self.last_helper.push(NO_HELPER);
+        self.switches.push(0);
+        self.regret_sums.extend(std::iter::repeat_n(0.0, self.regret_stride));
+        self.regret_stages.push(0);
+        self.regret_len.push(0);
+        id
+    }
+
+    /// Removes the peers in `slots` (slot indices, any order, no
+    /// duplicates), compacting every column **order-preservingly**:
+    /// surviving peers keep their relative order and their entire row —
+    /// id, RNG stream, learner state, regret row, accounting — exactly as
+    /// it was. `slots` is sorted in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is out of range or duplicated.
+    pub fn remove_slots(&mut self, slots: &mut [u32]) {
+        if slots.is_empty() {
+            return;
+        }
+        let n = self.len();
+        slots.sort_unstable();
+        assert!((slots[slots.len() - 1] as usize) < n, "slot out of range");
+        assert!(slots.windows(2).all(|w| w[0] != w[1]), "duplicate slot");
+
+        let stride = self.regret_stride;
+        let mut next = 0usize;
+        let mut write = 0usize;
+        for read in 0..n {
+            if next < slots.len() && slots[next] as usize == read {
+                next += 1;
+                continue;
+            }
+            if write != read {
+                self.ids.swap(write, read);
+                self.channels.swap(write, read);
+                self.joined_at.swap(write, read);
+                self.rngs.swap(write, read);
+                self.learners.swap(write, read);
+                self.total_rate.swap(write, read);
+                self.epochs_online.swap(write, read);
+                self.epochs_served.swap(write, read);
+                self.satisfied_epochs.swap(write, read);
+                self.last_helper.swap(write, read);
+                self.switches.swap(write, read);
+                self.regret_stages.swap(write, read);
+                self.regret_len.swap(write, read);
+                self.regret_sums
+                    .copy_within(read * stride..(read + 1) * stride, write * stride);
+            }
+            write += 1;
+        }
+        self.ids.truncate(write);
+        self.channels.truncate(write);
+        self.joined_at.truncate(write);
+        self.rngs.truncate(write);
+        self.learners.truncate(write);
+        self.total_rate.truncate(write);
+        self.epochs_online.truncate(write);
+        self.epochs_served.truncate(write);
+        self.satisfied_epochs.truncate(write);
+        self.last_helper.truncate(write);
+        self.switches.truncate(write);
+        self.regret_stages.truncate(write);
+        self.regret_len.truncate(write);
+        self.regret_sums.truncate(write * stride);
+    }
+
+    /// Moves peer `slot` to `channel`, restarting its learner on the new
+    /// channel's action set (the peer keeps its identity, RNG stream and
+    /// accounting). The true-regret row is *not* touched here: it resets
+    /// lazily at the next record if the action count actually changed
+    /// (see `regret_len`), so a round-trip migration back to a
+    /// same-arity channel keeps its regret history — the historical
+    /// semantics.
+    pub fn set_channel(&mut self, slot: usize, channel: usize) {
+        let new_m = self.actions[channel] as usize;
+        self.channels[slot] = channel as u32;
+        self.learners[slot].reset_actions(new_m);
+        self.last_helper[slot] = NO_HELPER;
+    }
+
+    /// The shard count a phase over `len` items uses right now.
+    fn shards_for(&self, len: usize) -> usize {
+        match self.shard_override {
+            Some(n) => n.min(len).max(1),
+            None if len < rths_par::MIN_PARALLEL_ITEMS => 1,
+            None => rths_par::threads().min(len).max(1),
+        }
+    }
+
+    /// Ensures one scratch slot per shard with a zeroed `loads` histogram
+    /// of `loads_len` buckets and reset metric maxima.
+    fn prepare_scratch(scratch: &mut Vec<ShardScratch>, shards: usize, loads_len: usize) {
+        if scratch.len() < shards {
+            scratch.resize_with(shards, ShardScratch::default);
+        }
+        for s in scratch.iter_mut().take(shards) {
+            s.loads.clear();
+            s.loads.resize(loads_len, 0);
+            s.worst_estimate = 0.0;
+            s.worst_empirical = 0.0;
+        }
+    }
+
+    /// The **choose** phase: every peer samples its learner's mixed
+    /// strategy from its own RNG stream and the switch accounting is
+    /// updated; `profile[i]` receives the choice (a learner-local action
+    /// index). `account` runs once per peer inside its shard with
+    /// `(index, choice, channel, aux_slot, shard_loads)` and accumulates
+    /// the shard-affine load histogram (and, for the multi-channel
+    /// engine, the global helper index in `aux`). After the phase the
+    /// per-shard histograms are summed into `loads` in shard order.
+    pub fn choose_phase(
+        &mut self,
+        profile: &mut [u32],
+        aux: &mut [u32],
+        loads: &mut Vec<usize>,
+        loads_len: usize,
+        scratch: &mut Vec<ShardScratch>,
+        account: impl Fn(usize, u32, u32, &mut u32, &mut [usize]) + Sync,
+    ) {
+        let n = self.len();
+        assert_eq!(profile.len(), n, "profile column must be index-aligned");
+        assert_eq!(aux.len(), n, "aux column must be index-aligned");
+        let shards = self.shards_for(n);
+        Self::prepare_scratch(scratch, shards, loads_len);
+        let PeerStore { learners, rngs, last_helper, switches, channels, .. } = self;
+        let channels = &*channels;
+        par_sharded(
+            n,
+            shards,
+            (
+                (&mut learners[..], &mut rngs[..]),
+                (&mut last_helper[..], &mut switches[..]),
+                (profile, aux),
+            ),
+            &mut scratch[..],
+            |shard, ((learners, rngs), (last, switches), (profile, aux)), s| {
+                for i in 0..shard.len() {
+                    let choice = learners[i].select_action(&mut rngs[i]) as u32;
+                    if last[i] != NO_HELPER && last[i] != choice {
+                        switches[i] += 1;
+                    }
+                    last[i] = choice;
+                    profile[i] = choice;
+                    let abs = shard.start + i;
+                    account(abs, choice, channels[abs], &mut aux[i], &mut s.loads);
+                }
+            },
+        );
+        loads.clear();
+        loads.resize(loads_len, 0);
+        for s in scratch.iter().take(shards) {
+            for (total, &part) in loads.iter_mut().zip(&s.loads) {
+                *total += part;
+            }
+        }
+    }
+
+    /// The **observe** phase: every peer's realized rate is computed by
+    /// `rate_of(index, profile[index], channel) -> (rate, satisfied)`,
+    /// fed to its learner (bandit feedback), accumulated into the
+    /// accounting columns and the flat true-regret row (against the
+    /// channel's counterfactual join rates in
+    /// `join_rates[join_offsets[c]..join_offsets[c + 1]]`), and written
+    /// to `delivered[index]`. Returns the epoch's
+    /// `(worst_regret_estimate, worst_empirical_regret)`, folded
+    /// per-shard and merged in shard order (max over non-negative values
+    /// — order-insensitive, so bit-identical at any shard count).
+    ///
+    /// `track_estimate` controls the first element: deriving a learner's
+    /// internal regret estimate is an `O(m²)` scan of its proxy matrix
+    /// per peer per epoch, so callers that do not record the series (the
+    /// multi-channel engine) pass `false` and receive `0.0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_phase(
+        &mut self,
+        profile: &[u32],
+        delivered: &mut [f64],
+        join_offsets: &[usize],
+        join_rates: &[f64],
+        scratch: &mut Vec<ShardScratch>,
+        track_estimate: bool,
+        rate_of: impl Fn(usize, u32, u32) -> (f64, bool) + Sync,
+    ) -> (f64, f64) {
+        let n = self.len();
+        assert_eq!(profile.len(), n, "profile column must be index-aligned");
+        assert_eq!(delivered.len(), n, "delivered column must be index-aligned");
+        let shards = self.shards_for(n);
+        Self::prepare_scratch(scratch, shards, 0);
+        let stride = self.regret_stride;
+        let PeerStore {
+            learners,
+            total_rate,
+            epochs_online,
+            epochs_served,
+            satisfied_epochs,
+            regret_sums,
+            regret_stages,
+            regret_len,
+            channels,
+            configs,
+            ..
+        } = self;
+        let channels = &*channels;
+        let configs = &*configs;
+        par_sharded(
+            n,
+            shards,
+            (
+                (&mut learners[..], &mut total_rate[..], &mut epochs_online[..]),
+                (&mut epochs_served[..], &mut satisfied_epochs[..], &mut regret_stages[..]),
+                (&mut regret_len[..], Strided::new(stride, &mut regret_sums[..]), delivered),
+            ),
+            &mut scratch[..],
+            |shard,
+             ((learners, total, online), (served, sat, stages), (rlen, mut rows, out)),
+             s| {
+                for i in 0..shard.len() {
+                    let abs = shard.start + i;
+                    let channel = channels[abs];
+                    let config = &configs[channel as usize];
+                    let (rate, satisfied) = rate_of(abs, profile[abs], channel);
+                    // Bandit feedback + accounting (Peer::deliver order).
+                    learners[i].observe(config, rate, &mut s.row);
+                    total[i] += rate;
+                    online[i] += 1;
+                    if rate > 0.0 {
+                        served[i] += 1;
+                    }
+                    if satisfied {
+                        sat[i] += 1;
+                    }
+                    // True-regret increments against the channel's
+                    // counterfactual join rates. The row resets lazily
+                    // here when the peer's action-set arity changed
+                    // since it was last recorded (channel migration) —
+                    // the historical semantics.
+                    let c = channel as usize;
+                    let jr = &join_rates[join_offsets[c]..join_offsets[c + 1]];
+                    let m = jr.len();
+                    let played = profile[abs] as usize;
+                    let row = rows.row(i);
+                    if rlen[i] != m as u32 {
+                        if rlen[i] != 0 {
+                            row.fill(0.0);
+                            stages[i] = 0;
+                        }
+                        rlen[i] = m as u32;
+                    }
+                    for (k, &join) in jr.iter().enumerate() {
+                        if k != played {
+                            row[played * m + k] += join - rate;
+                        }
+                    }
+                    stages[i] += 1;
+                    // Shard-affine metric folds (non-negative maxima).
+                    if track_estimate {
+                        s.worst_estimate = s.worst_estimate.max(learners[i].max_regret(config));
+                    }
+                    let max_sum = row.iter().copied().fold(0.0f64, f64::max);
+                    s.worst_empirical = s.worst_empirical.max(max_sum / stages[i] as f64);
+                    out[i] = rate;
+                }
+            },
+        );
+        let mut worst_estimate = 0.0f64;
+        let mut worst_empirical = 0.0f64;
+        for s in scratch.iter().take(shards) {
+            worst_estimate = worst_estimate.max(s.worst_estimate);
+            worst_empirical = worst_empirical.max(s.worst_empirical);
+        }
+        (worst_estimate, worst_empirical)
+    }
+
+    // === per-peer accessors (final reporting, tests) ===
+
+    /// Stable id of the peer in `slot`.
+    pub fn id(&self, slot: usize) -> u64 {
+        self.ids[slot]
+    }
+
+    /// Slot of the peer with `id`, if online. Ids are monotone at spawn
+    /// and removal is order-preserving, so the column is always sorted —
+    /// this is a binary search.
+    pub fn slot_of(&self, id: u64) -> Option<usize> {
+        debug_assert!(self.ids.windows(2).all(|w| w[0] < w[1]), "ids column not sorted");
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// Stable ids in slot order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Channel of the peer in `slot`.
+    pub fn channel(&self, slot: usize) -> usize {
+        self.channels[slot] as usize
+    }
+
+    /// Epoch the peer in `slot` joined.
+    pub fn joined_at(&self, slot: usize) -> u64 {
+        self.joined_at[slot]
+    }
+
+    /// Lifetime mean received rate of the peer in `slot` (kbps).
+    pub fn mean_rate(&self, slot: usize) -> f64 {
+        if self.epochs_online[slot] == 0 {
+            0.0
+        } else {
+            self.total_rate[slot] / self.epochs_online[slot] as f64
+        }
+    }
+
+    /// Streaming continuity index of the peer in `slot`.
+    pub fn continuity(&self, slot: usize) -> f64 {
+        if self.epochs_online[slot] == 0 {
+            1.0
+        } else {
+            self.satisfied_epochs[slot] as f64 / self.epochs_online[slot] as f64
+        }
+    }
+
+    /// Helper switches of the peer in `slot` (QoE interruption proxy).
+    pub fn switches(&self, slot: usize) -> u64 {
+        self.switches[slot]
+    }
+
+    /// Total helper switches across the population.
+    pub fn total_switches(&self) -> u64 {
+        self.switches.iter().sum()
+    }
+
+    /// Time-averaged worst true regret of the peer in `slot`.
+    pub fn empirical_regret(&self, slot: usize) -> f64 {
+        if self.regret_stages[slot] == 0 {
+            return 0.0;
+        }
+        let stride = self.regret_stride;
+        let row = &self.regret_sums[slot * stride..(slot + 1) * stride];
+        row.iter().copied().fold(0.0f64, f64::max) / self.regret_stages[slot] as f64
+    }
+
+    /// The learner of the peer in `slot`.
+    pub fn learner(&self, slot: usize) -> &LearnerCell {
+        &self.learners[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LearnerSpec;
+
+    fn store(channels: &[usize]) -> PeerStore {
+        PeerStore::new(7, LearnerSpec::default(), 400.0, channels)
+    }
+
+    #[test]
+    fn spawn_assigns_monotone_ids_and_fresh_state() {
+        let mut s = store(&[3]);
+        assert!(s.is_empty());
+        let a = s.spawn(0, 0);
+        let b = s.spawn(0, 5);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.ids(), &[0, 1]);
+        assert_eq!(s.joined_at(1), 5);
+        assert_eq!(s.mean_rate(0), 0.0);
+        assert_eq!(s.continuity(0), 1.0);
+        assert_eq!(s.switches(0), 0);
+        assert_eq!(s.learner(0).probabilities(), &[1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn remove_slots_preserves_survivor_order_and_identity() {
+        let mut s = store(&[2]);
+        for _ in 0..6 {
+            s.spawn(0, 0);
+        }
+        let mut slots = vec![4u32, 1, 2];
+        s.remove_slots(&mut slots);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.ids(), &[0, 3, 5], "survivors must keep insertion order");
+        assert_eq!(s.slot_of(3), Some(1));
+        assert_eq!(s.slot_of(4), None);
+        // Spawning after churn continues the id sequence (never reuses).
+        let next = s.spawn(0, 9);
+        assert_eq!(next, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of range")]
+    fn remove_slots_rejects_bad_slot() {
+        let mut s = store(&[2]);
+        s.spawn(0, 0);
+        s.remove_slots(&mut [3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate slot")]
+    fn remove_slots_rejects_duplicates() {
+        let mut s = store(&[2]);
+        s.spawn(0, 0);
+        s.spawn(0, 0);
+        s.remove_slots(&mut [1, 1]);
+    }
+
+    #[test]
+    fn set_channel_resets_learner_lazily_keeps_same_arity_regret() {
+        let mut s = store(&[2, 2, 4]);
+        s.spawn(0, 0);
+        // Record one epoch of regret on channel 0 by driving the phases.
+        let mut profile = vec![0u32; 1];
+        let mut aux = vec![0u32; 1];
+        let (mut loads, mut scratch, mut delivered) = (Vec::new(), Vec::new(), vec![0.0; 1]);
+        let mut step = |s: &mut PeerStore, join: &[f64], offs: &[usize]| {
+            s.choose_phase(
+                &mut profile,
+                &mut aux,
+                &mut loads,
+                4,
+                &mut scratch,
+                |_, a, _, _, l| l[a as usize] += 1,
+            );
+            s.observe_phase(
+                &profile,
+                &mut delivered,
+                offs,
+                join,
+                &mut scratch,
+                true,
+                |_, _, _| (10.0, true),
+            );
+        };
+        step(&mut s, &[900.0, 50.0], &[0, 2, 2, 2]);
+        let recorded = s.empirical_regret(0);
+        assert!(recorded > 0.0, "no regret recorded");
+        // Round-trip through a same-arity channel: learner restarts, but
+        // the regret history survives (the historical lazy semantics —
+        // the arity never changed as far as the row is concerned).
+        s.set_channel(0, 1);
+        assert_eq!(s.channel(0), 1);
+        assert_eq!(s.learner(0).probabilities(), &[0.5; 2]);
+        assert_eq!(s.empirical_regret(0), recorded, "same-arity migration lost history");
+        step(&mut s, &[900.0, 50.0], &[0, 0, 2, 2]);
+        assert!(s.empirical_regret(0) > 0.0);
+        // Different arity: the row resets at the *next record*, not at
+        // migration time.
+        s.set_channel(0, 2);
+        assert_eq!(s.learner(0).probabilities(), &[0.25; 4]);
+        assert!(s.empirical_regret(0) > 0.0, "reset should be lazy");
+        step(&mut s, &[900.0, 500.0, 100.0, 50.0], &[0, 0, 0, 4]);
+        // One fresh stage on the new 4-action row.
+        assert_eq!(s.regret_stages[0], 1, "arity change must restart the stage clock");
+    }
+
+    #[test]
+    fn phases_run_identically_at_any_shard_count() {
+        // A miniature epoch loop driven straight against the store: the
+        // choose/observe trajectories must be bit-identical at 1, 2, 4
+        // and 7 shards (the engine-level sweep lives in tests/).
+        let run = |shards: usize| {
+            let mut s = store(&[3]);
+            for _ in 0..40 {
+                s.spawn(0, 0);
+            }
+            s.set_shards(Some(shards));
+            let mut profile = vec![0u32; 40];
+            let mut aux = vec![0u32; 40];
+            let mut loads = Vec::new();
+            let mut scratch = Vec::new();
+            let mut delivered = vec![0.0; 40];
+            let mut stats = Vec::new();
+            for _ in 0..30 {
+                s.choose_phase(
+                    &mut profile,
+                    &mut aux,
+                    &mut loads,
+                    3,
+                    &mut scratch,
+                    |_, choice, _, _, loads| loads[choice as usize] += 1,
+                );
+                let shares: Vec<f64> = loads
+                    .iter()
+                    .map(|&l| if l == 0 { 0.0 } else { 900.0 / l as f64 })
+                    .collect();
+                let join: Vec<f64> = loads.iter().map(|&l| 900.0 / (l + 1) as f64).collect();
+                let shares_ref = &shares;
+                let (est, emp) = s.observe_phase(
+                    &profile,
+                    &mut delivered,
+                    &[0, 3],
+                    &join,
+                    &mut scratch,
+                    true,
+                    |_, a, _| (shares_ref[a as usize], true),
+                );
+                stats.push((est.to_bits(), emp.to_bits()));
+            }
+            let probs: Vec<u64> = (0..40)
+                .flat_map(|i| s.learner(i).probabilities().to_vec())
+                .map(f64::to_bits)
+                .collect();
+            (stats, probs, delivered.iter().map(|r| r.to_bits()).collect::<Vec<_>>())
+        };
+        let base = run(1);
+        for shards in [2usize, 4, 7] {
+            assert_eq!(run(shards), base, "diverged at {shards} shards");
+        }
+    }
+}

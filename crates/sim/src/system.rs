@@ -1,14 +1,19 @@
 //! The single-channel simulation engine.
+//!
+//! Peers live in the sharded structure-of-arrays [`PeerStore`]; the
+//! per-peer choose/observe phases run shard-parallel with index-ordered
+//! reductions, so results are bit-for-bit identical at any shard count
+//! and any `RTHS_THREADS` (see the store docs for the contract).
 
 use rand::rngs::StdRng;
 use rths_game::JointDistribution;
-use rths_stoch::rng::{entity_rng, seeded_rng};
+use rths_stoch::rng::seeded_rng;
 
 use crate::config::SimConfig;
 use crate::helper::{Helper, HelperId};
 use crate::metrics::SimMetrics;
-use crate::peer::{Peer, PeerId};
 use crate::server::StreamingServer;
+use crate::store::{PeerStore, ShardScratch};
 
 /// Result of (so far) running a [`System`].
 #[derive(Debug, Clone)]
@@ -36,31 +41,43 @@ pub struct Outcome {
 /// refilled in place every epoch (capacity is retained across epochs).
 #[derive(Debug, Default)]
 struct EpochScratch {
-    /// Chosen helper per peer.
-    profile: Vec<usize>,
-    /// Peers per helper.
+    /// Chosen helper per peer (u32 — helper sets stay far below 2³²).
+    profile: Vec<u32>,
+    /// Unused auxiliary choice column (the multi-channel engine maps
+    /// local→global helper indices here; kept for the shared phase API).
+    aux: Vec<u32>,
+    /// Peers per helper (merged from the per-shard histograms).
     loads: Vec<usize>,
     /// Realized per-connection share per helper.
     shares: Vec<f64>,
     /// Counterfactual join rate per helper.
     join_rates: Vec<f64>,
+    /// `[0, h]` — the single channel's window into `join_rates`.
+    join_offsets: Vec<usize>,
     /// Unmet demand per peer.
     residuals: Vec<f64>,
     /// Delivered rate per peer.
     delivered: Vec<f64>,
+    /// Per-shard thread-affine scratch.
+    shards: Vec<ShardScratch>,
+    /// Churn: mirror of the historical swap-remove draw sequence.
+    alive: Vec<u32>,
+    /// Churn: slots departing this epoch.
+    removing: Vec<u32>,
+    /// Profile widened to `usize` for joint-distribution recording.
+    profile_usize: Vec<usize>,
 }
 
 /// The single-channel helper-assisted streaming system.
 pub struct System {
     config: SimConfig,
     helpers: Vec<Helper>,
-    peers: Vec<Peer>,
+    peers: PeerStore,
     server: StreamingServer,
     metrics: SimMetrics,
     joint: Option<JointDistribution>,
     peer_rate_series: Option<Vec<Vec<f64>>>,
     epoch: u64,
-    next_peer_id: u64,
     master_rng: StdRng,
     scratch: EpochScratch,
 }
@@ -93,17 +110,14 @@ impl System {
                 )
             })
             .collect();
-        let rate_scale = config.rate_scale();
-        let mut peers = Vec::with_capacity(config.num_peers);
-        let mut next_peer_id = 0u64;
+        let mut peers = PeerStore::new(
+            config.seed,
+            config.learner.clone(),
+            config.rate_scale(),
+            &[helpers.len()],
+        );
         for _ in 0..config.num_peers {
-            let learner = config
-                .learner
-                .instantiate(helpers.len(), rate_scale)
-                .expect("learner spec validated by construction");
-            let rng = entity_rng(config.seed, next_peer_id);
-            peers.push(Peer::new(PeerId(next_peer_id), learner, rng, 0, 0));
-            next_peer_id += 1;
+            peers.spawn(0, 0);
         }
         let metrics = SimMetrics::new(helpers.len());
         let track_joint =
@@ -118,7 +132,6 @@ impl System {
             server: StreamingServer::new(),
             metrics,
             epoch: 0,
-            next_peer_id,
             master_rng,
             scratch: EpochScratch::default(),
         }
@@ -140,9 +153,16 @@ impl System {
         &self.helpers
     }
 
-    /// The peers.
-    pub fn peers(&self) -> &[Peer] {
+    /// The sharded SoA peer store (stable ids, per-peer accounting).
+    pub fn peers(&self) -> &PeerStore {
         &self.peers
+    }
+
+    /// Pins the peer-store shard count (tests/benches); `None` restores
+    /// the default derived from [`rths_par::threads`]. Results are
+    /// bit-identical at any setting.
+    pub fn set_shards(&mut self, shards: Option<usize>) {
+        self.peers.set_shards(shards);
     }
 
     /// Current helper capacities.
@@ -172,19 +192,25 @@ impl System {
     pub fn inject_arrivals(&mut self, lambda: f64) {
         let extra = rths_stoch::process::sample_poisson(&mut self.master_rng, lambda);
         for _ in 0..extra {
-            self.spawn_peer();
+            self.peers.spawn(0, self.epoch);
         }
     }
 
-    fn spawn_peer(&mut self) {
-        let learner = self
-            .config
-            .learner
-            .instantiate(self.helpers.len(), self.config.rate_scale())
-            .expect("learner spec validated by construction");
-        let rng = entity_rng(self.config.seed, self.next_peer_id);
-        self.peers.push(Peer::new(PeerId(self.next_peer_id), learner, rng, 0, self.epoch));
-        self.next_peer_id += 1;
+    /// Removes the peer with stable id `id` immediately (scripted
+    /// departures for workloads and the departure-stability test).
+    /// Returns whether the peer was online. Survivors keep their slots'
+    /// relative order and their entire state — the departure can never
+    /// re-alias another peer's RNG stream, learner row, or rate column.
+    pub fn depart_peer(&mut self, id: u64) -> bool {
+        match self.peers.slot_of(id) {
+            Some(slot) => {
+                self.scratch.removing.clear();
+                self.scratch.removing.push(slot as u32);
+                self.peers.remove_slots(&mut self.scratch.removing);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Runs `epochs` additional epochs and returns the cumulative outcome.
@@ -204,40 +230,58 @@ impl System {
             helper.step();
         }
 
-        // 2. Churn.
+        // 2. Churn. Departure slots are drawn with the historical
+        // swap-remove sequence against a mirror vector (so the master RNG
+        // stream is unchanged), then removed in one order-preserving
+        // compaction: survivors keep their slot order and identity.
         let events = self.config.churn.sample_epoch(&mut self.master_rng, self.peers.len());
         if events.departures > 0 {
+            let EpochScratch { alive, removing, .. } = &mut self.scratch;
+            alive.clear();
+            alive.extend(0..self.peers.len() as u32);
+            removing.clear();
             for _ in 0..events.departures.min(self.peers.len() as u64) {
-                let idx = rand::Rng::gen_range(&mut self.master_rng, 0..self.peers.len());
-                self.peers.swap_remove(idx);
+                let idx = rand::Rng::gen_range(&mut self.master_rng, 0..alive.len());
+                removing.push(alive.swap_remove(idx));
             }
+            self.peers.remove_slots(removing);
         }
         for _ in 0..events.arrivals {
-            self.spawn_peer();
+            self.peers.spawn(0, self.epoch);
         }
 
-        // 3. Decentralized helper selection. Parallel over peers: each
-        // peer samples from its own RNG stream, so the choice profile is
-        // independent of the worker partition.
+        // 3. Decentralized helper selection: shard-parallel over the peer
+        // store; each peer samples from its own RNG stream, so the choice
+        // profile is independent of the shard partition. Loads accumulate
+        // into per-shard histograms merged in shard order (integer counts
+        // — order-insensitive).
         let n = self.peers.len();
         let demand = self.config.demand;
-        let EpochScratch { profile, loads, shares, join_rates, residuals, delivered } =
-            &mut self.scratch;
-        profile.clear();
+        let EpochScratch {
+            profile,
+            aux,
+            loads,
+            shares,
+            join_rates,
+            join_offsets,
+            residuals,
+            delivered,
+            shards,
+            profile_usize,
+            ..
+        } = &mut self.scratch;
+        // resize without clear: choose_phase writes every slot (aux is
+        // write-only here), so no per-epoch memset is needed.
         profile.resize(n, 0);
-        rths_par::par_zip_mut(&mut self.peers, profile, |_, peer, slot| {
-            *slot = peer.choose_helper();
+        aux.resize(n, 0);
+        self.peers.choose_phase(profile, aux, loads, h, shards, |_, choice, _, _, loads| {
+            loads[choice as usize] += 1;
         });
-        loads.clear();
-        loads.resize(h, 0);
-        for &a in profile.iter() {
-            loads[a] += 1;
-        }
 
-        // 4-5. Rate allocation and bandit feedback. The per-peer phase is
-        // parallel and records each peer's rate into an index-aligned
-        // slot; all order-sensitive float reductions happen afterwards in
-        // peer order, so results are bit-identical at any thread count.
+        // 4-5. Rate allocation and bandit feedback. The per-peer phase
+        // records each peer's rate into an index-aligned slot; all
+        // order-sensitive float reductions happen afterwards in peer
+        // order, so results are bit-identical at any shard count.
         shares.clear();
         shares.extend(self.helpers.iter().zip(loads.iter()).map(|(hp, &l)| hp.share(l)));
         join_rates.clear();
@@ -248,26 +292,31 @@ impl System {
                 None => raw,
             }
         }));
-        delivered.clear();
+        join_offsets.clear();
+        join_offsets.extend([0, h]);
         delivered.resize(n, 0.0);
-        {
-            let profile = &*profile;
+        let (worst_est, worst_emp) = {
             let shares = &*shares;
-            let join_rates = &*join_rates;
-            rths_par::par_zip_mut(&mut self.peers, delivered, move |i, peer, slot| {
-                let share = shares[profile[i]];
-                let (rate, satisfied) = match demand {
-                    Some(d) => {
-                        let r = share.min(d);
-                        (r, r >= d - 1e-9)
+            self.peers.observe_phase(
+                profile,
+                delivered,
+                join_offsets,
+                join_rates,
+                shards,
+                // The single-channel engine records worst_regret_estimate.
+                true,
+                move |_, choice, _| {
+                    let share = shares[choice as usize];
+                    match demand {
+                        Some(d) => {
+                            let r = share.min(d);
+                            (r, r >= d - 1e-9)
+                        }
+                        None => (share, true),
                     }
-                    None => (share, true),
-                };
-                peer.deliver(rate, satisfied);
-                peer.record_true_regret(profile[i], rate, join_rates);
-                *slot = rate;
-            });
-        }
+                },
+            )
+        };
         let mut welfare = 0.0;
         residuals.clear();
         for &rate in delivered.iter() {
@@ -297,12 +346,10 @@ impl System {
         self.metrics.current_deficit.push(server_epoch.current_deficit);
         self.metrics.population.push(self.peers.len() as f64);
         self.metrics.jain.push(rths_math::stats::jain_index(delivered));
-        let worst_est = self.peers.iter().map(Peer::max_regret).fold(0.0f64, f64::max);
         self.metrics.worst_regret_estimate.push(worst_est);
-        let worst_emp = self.peers.iter().map(Peer::empirical_regret).fold(0.0f64, f64::max);
         self.metrics.worst_empirical_regret.push(worst_emp);
-        let total_switches: u64 = self.peers.iter().map(Peer::switches).sum();
         // Per-epoch switches = difference of cumulative counts.
+        let total_switches = self.peers.total_switches();
         let prev_total = self.metrics.switches.values().iter().sum::<f64>();
         self.metrics.switches.push((total_switches as f64 - prev_total).max(0.0));
         for (series, &l) in self.metrics.helper_loads.iter_mut().zip(loads.iter()) {
@@ -311,7 +358,9 @@ impl System {
 
         if let Some(joint) = &mut self.joint {
             if self.epoch >= self.config.record_joint_from {
-                joint.record(profile);
+                profile_usize.clear();
+                profile_usize.extend(profile.iter().map(|&a| a as usize));
+                joint.record(profile_usize);
             }
         }
         self.epoch += 1;
@@ -326,8 +375,10 @@ impl System {
             .iter()
             .map(|s| s.values().iter().sum::<f64>() / denom)
             .collect();
-        metrics.mean_peer_rates = self.peers.iter().map(Peer::mean_rate).collect();
-        metrics.peer_continuity = self.peers.iter().map(Peer::continuity).collect();
+        metrics.mean_peer_rates =
+            (0..self.peers.len()).map(|i| self.peers.mean_rate(i)).collect();
+        metrics.peer_continuity =
+            (0..self.peers.len()).map(|i| self.peers.continuity(i)).collect();
         Outcome {
             epochs: self.epoch,
             metrics,
@@ -431,6 +482,33 @@ mod tests {
         assert!(max > min, "population never changed under churn");
         // Joint distribution is disabled under churn.
         assert!(out.joint.is_none());
+    }
+
+    #[test]
+    fn churned_survivors_keep_insertion_order_and_ids() {
+        let config = SimConfig::builder(30, vec![BandwidthSpec::Paper { stay: 0.98 }; 3])
+            .churn(ChurnProcess::new(0.5, 0.03))
+            .seed(11)
+            .build();
+        let mut sys = System::new(config);
+        let _ = sys.run(200);
+        let ids = sys.peers().ids();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "slot order drifted from id order: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn depart_peer_removes_exactly_one() {
+        let mut sys = System::new(small_config(12));
+        let _ = sys.run(5);
+        assert!(sys.depart_peer(3));
+        assert!(!sys.depart_peer(3), "peer 3 should be gone");
+        assert_eq!(sys.num_peers(), 9);
+        assert_eq!(sys.peers().slot_of(4), Some(3));
+        let out = sys.run(5);
+        assert_eq!(out.final_population, 9);
     }
 
     #[test]

@@ -74,6 +74,77 @@ fn outage_and_recovery_cycle() {
     );
 }
 
+/// The churn-time identity contract: a departure must not perturb any
+/// surviving peer's trajectory.
+///
+/// The configuration makes every peer's dynamics independent of the rest
+/// of the swarm — constant helper capacities with a demand cap that is
+/// always met (`capacity / population ≥ demand`), so each peer's observed
+/// rate is `demand` regardless of the load profile. A mid-run departure
+/// then changes *nothing* for the survivors: their choice sequences,
+/// learner strategies and accounting must be bit-identical to the
+/// run where the departed peer never left. Under the historical
+/// `swap_remove` churn path a store keyed by slot index would have
+/// re-aliased the moved peer onto the departed peer's RNG stream, learner
+/// row and rate column; the order-preserving stable-id removal makes this
+/// impossible, and this test pins it.
+#[test]
+fn departure_does_not_perturb_survivors() {
+    let build = || {
+        // 8 peers × demand 100 = 800 ≤ every helper alone (1600), so the
+        // per-peer rate is always exactly the demand.
+        let config = SimConfig::builder(8, vec![BandwidthSpec::Constant(1600.0); 2])
+            .demand(100.0)
+            .seed(31)
+            .build();
+        System::new(config)
+    };
+    let snapshot = |sys: &System| -> Vec<(u64, Vec<u64>, u64, f64)> {
+        let peers = sys.peers();
+        (0..peers.len())
+            .map(|slot| {
+                (
+                    peers.id(slot),
+                    peers.learner(slot).probabilities().iter().map(|p| p.to_bits()).collect(),
+                    peers.switches(slot),
+                    peers.mean_rate(slot),
+                )
+            })
+            .collect()
+    };
+
+    let mut baseline = build();
+    let _ = baseline.run(400);
+    let base = snapshot(&baseline);
+
+    let mut churned = build();
+    let _ = churned.run(200);
+    assert!(churned.depart_peer(3), "peer 3 should be online");
+    let _ = churned.run(200);
+    let after = snapshot(&churned);
+
+    assert_eq!(after.len(), base.len() - 1);
+    for row in &after {
+        assert_ne!(row.0, 3, "departed peer still present");
+        let reference = base
+            .iter()
+            .find(|b| b.0 == row.0)
+            .unwrap_or_else(|| panic!("peer {} lost its identity", row.0));
+        assert_eq!(
+            row.1, reference.1,
+            "peer {}'s learner trajectory was perturbed by the departure",
+            row.0
+        );
+        assert_eq!(row.2, reference.2, "peer {}'s switch count drifted", row.0);
+        assert_eq!(
+            row.3.to_bits(),
+            reference.3.to_bits(),
+            "peer {}'s mean rate drifted",
+            row.0
+        );
+    }
+}
+
 /// Determinism survives churn and failures: identical configs and
 /// schedules give identical outcomes.
 #[test]

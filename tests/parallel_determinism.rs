@@ -1,40 +1,24 @@
 //! The parallel runtime's contract: `RTHS_THREADS` changes wall-clock
-//! time, never results. Both engines are run at 1, 2, and 4 workers and
+//! time, never results. Both engines are run at 1, 2, and 4 workers —
+//! and, separately, at 1, 2, and 4 pinned peer-store *shards* — and
 //! every recorded series must be **bit-for-bit** identical (`f64::to_bits`
 //! equality, not tolerance) — the property every golden/trajectory-pinned
 //! test in this repository relies on.
+//!
+//! Thread sweeps use the scoped `rths_par::with_threads` override
+//! (thread-local, so no racy `std::env::set_var`); the `RTHS_THREADS`
+//! environment variable stays the outermost default.
 //!
 //! Populations are kept above `rths_par::MIN_PARALLEL_ITEMS` so the
 //! multi-worker runs genuinely exercise the pool rather than the inline
 //! fallback.
 
-use std::sync::Mutex;
-
+use rths_suite::par::with_threads;
 use rths_suite::sim::{
     AllocationPolicy, BandwidthSpec, LearnerSpec, MultiChannelConfig, MultiChannelSystem,
     Outcome, SimConfig, System,
 };
 use rths_suite::stoch::process::ChurnProcess;
-
-/// Serializes tests that mutate the process-global `RTHS_THREADS`.
-static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-    // Restore (not delete) the ambient value afterwards — CI runs the
-    // suite with RTHS_THREADS=2 and later tests must still see it.
-    let prior = std::env::var("RTHS_THREADS").ok();
-    std::env::set_var("RTHS_THREADS", n.to_string());
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-    match prior {
-        Some(value) => std::env::set_var("RTHS_THREADS", value),
-        None => std::env::remove_var("RTHS_THREADS"),
-    }
-    match result {
-        Ok(value) => value,
-        Err(payload) => std::panic::resume_unwind(payload),
-    }
-}
 
 #[track_caller]
 fn assert_bit_identical(label: &str, threads: usize, a: &[f64], b: &[f64]) {
@@ -116,6 +100,70 @@ fn system_outcome_is_thread_count_invariant() {
 fn multi_channel_outcome(policy: AllocationPolicy) -> rths_suite::sim::MultiChannelOutcome {
     let config = MultiChannelConfig::standard(8, 400.0, 24, 3, 240, 1.2, policy, 99);
     MultiChannelSystem::new(config).run(300)
+}
+
+/// The SoA peer stores' second axis: the pinned **shard count** must not
+/// change results either, independently of the worker count executing the
+/// shards. Sweeps both engines at 1, 2 and 4 shards (worker count left at
+/// the ambient default, so CI's `RTHS_THREADS=2` leg exercises
+/// shards ≠ workers).
+#[test]
+fn engines_are_shard_count_invariant() {
+    let single = |shards: usize| {
+        let config = SimConfig::builder(150, vec![BandwidthSpec::Paper { stay: 0.98 }; 8])
+            .demand(80.0)
+            .churn(ChurnProcess::new(0.6, 0.004))
+            .seed(1717)
+            .build();
+        let mut sys = System::new(config);
+        sys.set_shards(Some(shards));
+        let out = sys.run(250);
+        (
+            out.metrics.welfare.values().to_vec(),
+            out.metrics.worst_empirical_regret.values().to_vec(),
+            out.metrics.mean_peer_rates,
+            out.metrics.population.values().to_vec(),
+        )
+    };
+    let multi = |shards: usize| {
+        let config = MultiChannelConfig::standard(
+            6,
+            400.0,
+            18,
+            2,
+            180,
+            1.3,
+            AllocationPolicy::WaterFilling,
+            55,
+        );
+        let mut sys = MultiChannelSystem::new(config);
+        sys.set_shards(Some(shards));
+        let out = sys.run(200);
+        (
+            out.welfare.values().to_vec(),
+            out.worst_empirical_regret.values().to_vec(),
+            out.mean_channel_rates,
+            out.viewer_fairness,
+        )
+    };
+    let single_base = single(1);
+    let multi_base = multi(1);
+    for shards in [2usize, 4] {
+        let s = single(shards);
+        assert_bit_identical("single/welfare", shards, &s.0, &single_base.0);
+        assert_bit_identical("single/worst_emp", shards, &s.1, &single_base.1);
+        assert_bit_identical("single/mean_peer_rates", shards, &s.2, &single_base.2);
+        assert_bit_identical("single/population", shards, &s.3, &single_base.3);
+        let m = multi(shards);
+        assert_bit_identical("multi/welfare", shards, &m.0, &multi_base.0);
+        assert_bit_identical("multi/worst_emp", shards, &m.1, &multi_base.1);
+        assert_bit_identical("multi/mean_channel_rates", shards, &m.2, &multi_base.2);
+        assert_eq!(
+            m.3.to_bits(),
+            multi_base.3.to_bits(),
+            "multi/viewer_fairness at {shards} shards"
+        );
+    }
 }
 
 #[test]
