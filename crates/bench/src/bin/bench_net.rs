@@ -12,22 +12,34 @@
 //! what thread-per-actor can sensibly run in CI, which is exactly the gap
 //! the reactor closes — and the grid then pushes the reactor alone to
 //! **20,000 actors** in one process (thread-per-actor would need 20k OS
-//! threads, so that point records no threaded run). The compact learner
-//! state (`rths_core::compact`, shared config + T-matrix-only per peer)
-//! is what keeps 20k `PeerMachine`s inside a sane footprint. Run with:
-//! `cargo run --release -p rths_bench --bin bench_net`
+//! threads, so that point records no threaded run) and, with
+//! `RTHS_BENCH_LARGE=1`, to **100,000 actors** at a fixed epoch count.
+//! The compact learner state (`rths_core::compact`) plus the
+//! stretch-folded `O(n·h)` regret ledger (`rths_sim::regret`) and the
+//! reactor's per-shard mailbox rings are what keep 10⁵ `PeerMachine`s
+//! inside a sane footprint — each scenario records the process peak RSS
+//! (`VmHWM`) so the memory trajectory is visible alongside throughput.
+//! Run with: `cargo run --release -p rths_bench --bin bench_net`
 //!
 //! * `RTHS_BENCH_QUICK=1` shrinks epochs and caps the threaded backend at
 //!   [`QUICK_THREADED_ACTOR_CAP`] actors (CI smoke).
+//! * `RTHS_BENCH_LARGE=1` appends the 10⁵-actor reactor-only point at a
+//!   **fixed** epoch count ([`LARGE_EPOCHS`]), identical in quick and
+//!   full mode so `perf_gate`'s per-scenario epoch matching can compare
+//!   a CI run against the committed full-grid baseline.
 //! * `RTHS_THREADS` shards the reactor's rounds (recorded in the JSON;
 //!   results are identical at any value).
 //! * Output lands in `results/BENCH_net.json` (see `RTHS_RESULTS_DIR`).
+//!
+//! Learner-estimate tracking (`NetConfig::track_estimate`) is disabled:
+//! the `O(m²)` per-peer scan is a metrics feature, not protocol work,
+//! and the committed baselines predate it.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::Instant;
 
-use rths_bench::results_dir;
+use rths_bench::{peak_rss_kb, results_dir};
 use rths_net::{Backend, NetConfig, NetOutcome};
 use rths_sim::{BandwidthSpec, SimConfig};
 
@@ -40,6 +52,11 @@ const QUICK_THREADED_ACTOR_CAP: usize = 1_200;
 /// beyond it exist to demonstrate the reactor's ceiling, and spawning
 /// tens of thousands of OS threads proves nothing but the pathology.
 const THREADED_ACTOR_CAP: usize = 5_000;
+
+/// Fixed epoch count of the `RTHS_BENCH_LARGE` 10⁵-actor point — the
+/// same in quick and full mode, so the CI smoke run is epoch-comparable
+/// with the committed baseline.
+const LARGE_EPOCHS: u64 = 12;
 
 /// One grid point.
 struct Scenario {
@@ -63,52 +80,93 @@ struct Run {
     welfare_checksum: f64,
 }
 
-fn grid(quick: bool) -> Vec<Scenario> {
+fn grid(quick: bool, large: bool) -> Vec<Scenario> {
     let scale = if quick { 4 } else { 1 };
-    vec![
+    let mut grid = vec![
         Scenario { peers: 152, helpers: 8, epochs: 200 / scale },
         Scenario { peers: 960, helpers: 40, epochs: 60 / scale },
         // The headline comparison point: 5,000 actors in one process.
         Scenario { peers: 4_950, helpers: 50, epochs: (50 / scale).max(10) },
-        // The reactor's demonstrated ceiling: 20,000 actors (reactor
-        // only — see THREADED_ACTOR_CAP).
+        // The reactor's demonstrated ceiling per OS process before this
+        // PR: 20,000 actors (reactor only — see THREADED_ACTOR_CAP).
         Scenario { peers: 19_936, helpers: 64, epochs: (40 / scale).max(10) },
-    ]
+    ];
+    if large {
+        // 10⁵ actors at the same 64-helper density as the 2×10⁴ point:
+        // the O(n·h) regret ledger + mailbox rings keep it in memory
+        // (the dense n·h² table alone would be ~3.3 GB here). Fixed
+        // epoch count for cross-report comparability.
+        grid.push(Scenario { peers: 99_936, helpers: 64, epochs: LARGE_EPOCHS });
+    }
+    grid
 }
 
 fn config(s: &Scenario) -> NetConfig {
     let sim = SimConfig::builder(s.peers, vec![BandwidthSpec::Paper { stay: 0.98 }; s.helpers])
         .seed(7)
         .build();
-    NetConfig::from_sim(sim)
+    NetConfig::from_sim(sim).with_track_estimate(false)
 }
 
+/// Times epoch processing (run + result aggregation). Mesh construction
+/// — learner state allocation is ~3.2 GB at the 10⁵ point — is *not*
+/// epoch throughput and is reported separately on stdout.
 fn time_backend(s: &Scenario, backend: Backend) -> (f64, NetOutcome) {
-    let cfg = match backend {
-        Backend::Threaded => config(s),
-        Backend::Reactor => config(s).with_backend(Backend::Reactor),
+    // One-shot local; the size skew between runtimes is irrelevant here.
+    #[allow(clippy::large_enum_variant)]
+    enum Built {
+        Threaded(rths_net::NetRuntime),
+        Reactor(rths_net::ReactorRuntime),
+    }
+    let cfg = config(s).with_backend(backend);
+    let t0 = Instant::now();
+    let rt = match backend {
+        Backend::Threaded => Built::Threaded(rths_net::NetRuntime::new(cfg)),
+        Backend::Reactor => Built::Reactor(rths_net::ReactorRuntime::new(cfg)),
     };
-    let start = Instant::now();
-    let out = rths_net::run(cfg, s.epochs);
-    (start.elapsed().as_secs_f64(), out)
+    let build_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let out = match rt {
+        Built::Threaded(rt) => rt.run(s.epochs),
+        Built::Reactor(rt) => rt.run(s.epochs),
+    };
+    let secs = t1.elapsed().as_secs_f64();
+    if build_secs > 1.0 {
+        println!(
+            "  (mesh construction for {} actors took {build_secs:.1}s — excluded from \
+             actors/sec)",
+            s.actors()
+        );
+    }
+    (secs, out)
 }
 
 fn main() {
     let quick = std::env::var("RTHS_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let large = std::env::var("RTHS_BENCH_LARGE").is_ok_and(|v| v != "0");
     let threads = rths_par::threads();
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let scenarios = grid(quick);
+    let scenarios = grid(quick, large);
     println!(
         "BENCH_net — decentralized runtime throughput ({} scenarios, reactor threads {}, \
-         {} host cores{})",
+         {} host cores{}{})",
         scenarios.len(),
         threads,
         host_cores,
-        if quick { ", quick mode" } else { "" }
+        if quick { ", quick mode" } else { "" },
+        if large { ", +large grid point" } else { "" }
     );
     println!(
-        "\n{:<6} {:>8} {:>7} {:>7} | {:>9} {:>8} {:>9} {:>14}",
-        "peers", "helpers", "actors", "epochs", "backend", "threads", "secs", "actors/sec"
+        "\n{:<6} {:>8} {:>7} {:>7} | {:>9} {:>8} {:>9} {:>14} {:>12}",
+        "peers",
+        "helpers",
+        "actors",
+        "epochs",
+        "backend",
+        "threads",
+        "secs",
+        "actors/sec",
+        "peakRSS(MB)"
     );
 
     let mut json = String::from("{\n");
@@ -152,6 +210,10 @@ fn main() {
             welfare_checksum: out.metrics.welfare.values().iter().sum(),
         });
 
+        // Peak RSS right after the scenario's runs. VmHWM is a process
+        // high-water mark (monotone); the grid runs smallest-first, so
+        // the first scenario to raise it owns the number.
+        let rss_kb = peak_rss_kb();
         let identical = runs
             .iter()
             .all(|r| r.welfare_checksum.to_bits() == runs[0].welfare_checksum.to_bits());
@@ -161,10 +223,15 @@ fn main() {
             } else {
                 print!("{:<6} {:>8} {:>7} {:>7} |", "", "", "", "");
             }
-            println!(
+            print!(
                 " {:>9} {:>8} {:>9.3} {:>14.0}",
                 r.backend, r.threads, r.secs, r.actors_per_sec
             );
+            if ri + 1 == runs.len() {
+                println!(" {:>12.0}", rss_kb as f64 / 1024.0);
+            } else {
+                println!();
+            }
         }
         assert!(identical, "backends diverged at {} actors", s.actors());
 
@@ -173,6 +240,7 @@ fn main() {
         let _ = writeln!(json, "      \"helpers\": {},", s.helpers);
         let _ = writeln!(json, "      \"actors\": {},", s.actors());
         let _ = writeln!(json, "      \"epochs\": {},", s.epochs);
+        let _ = writeln!(json, "      \"peak_rss_kb\": {rss_kb},");
         let _ = writeln!(json, "      \"identical_output\": {identical},");
         let _ = writeln!(json, "      \"runs\": [");
         for (ri, r) in runs.iter().enumerate() {

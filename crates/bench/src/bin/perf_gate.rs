@@ -1,10 +1,19 @@
-//! Perf regression gate: compares a fresh `BENCH_sim.json` against the
-//! committed baseline and fails on a large throughput drop.
+//! Perf regression gate: compares a fresh `BENCH_sim.json` (or
+//! `BENCH_net.json`) against the committed baseline and fails on a large
+//! throughput drop.
 //!
 //! Usage: `perf_gate <baseline.json> <fresh.json>`
 //!
-//! * Scenarios are matched by `(engine, peers, helpers, channels)` and
-//!   compared per thread count on `epochs_per_sec`.
+//! The report kind is detected from the `"bench"` header (both files
+//! must agree).
+//!
+//! * `BENCH_sim`: scenarios are matched by
+//!   `(engine, peers, helpers, channels)` and compared per thread count
+//!   on `epochs_per_sec`.
+//! * `BENCH_net`: scenarios are matched by `(peers, helpers, actors)`
+//!   and compared per backend on `actors_per_sec`; recorded peak RSS
+//!   regressions above the threshold **warn but never fail** — memory
+//!   is tracked for the trajectory, throughput is the gate.
 //! * A drop of more than 30 % (override with
 //!   `RTHS_PERF_GATE_MAX_REGRESSION`, a fraction) on any matched run
 //!   fails the gate (exit 1).
@@ -14,18 +23,28 @@
 //! * Comparability is decided **per scenario** on the recorded epoch
 //!   count: a quick-grid run executes 4× fewer epochs, so warm-up
 //!   (scratch-buffer growth, page faults) is amortized over less work
-//!   and epochs/sec reads systematically low. Scenarios whose epoch
+//!   and throughput reads systematically low. Scenarios whose epoch
 //!   counts differ are skipped individually; the ones that match — in
-//!   particular the fixed-epoch truncated large-grid point the CI smoke
-//!   job runs with `RTHS_BENCH_LARGE=1` — are gated even when the rest
-//!   of the grids differ.
+//!   particular the fixed-epoch truncated large-grid points the CI
+//!   smoke job runs with `RTHS_BENCH_LARGE=1` — are gated even when the
+//!   rest of the grids differ.
 
-use rths_bench::{parse_bench_sim, BenchSimReport};
+use rths_bench::{parse_bench_net, parse_bench_sim, BenchNetReport, BenchSimReport};
 
-fn load(path: &str) -> BenchSimReport {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    parse_bench_sim(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn is_net_report(text: &str) -> bool {
+    text.lines().take(5).any(|l| l.contains("\"bench\"") && l.contains("net_backend_grid"))
+}
+
+fn load_sim(path: &str, text: &str) -> BenchSimReport {
+    parse_bench_sim(text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn load_net(path: &str, text: &str) -> BenchNetReport {
+    parse_bench_net(text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
 }
 
 fn main() {
@@ -37,8 +56,25 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.30);
 
-    let baseline = load(&baseline_path);
-    let fresh = load(&fresh_path);
+    let baseline_text = read(&baseline_path);
+    let fresh_text = read(&fresh_path);
+    let (base_net, fresh_net) = (is_net_report(&baseline_text), is_net_report(&fresh_text));
+    assert_eq!(
+        base_net, fresh_net,
+        "cannot compare a net report against a sim report ({baseline_path} vs {fresh_path})"
+    );
+    if base_net {
+        gate_net(
+            &baseline_path,
+            load_net(&baseline_path, &baseline_text),
+            &fresh_path,
+            load_net(&fresh_path, &fresh_text),
+            max_regression,
+        );
+        return;
+    }
+    let baseline = load_sim(&baseline_path, &baseline_text);
+    let fresh = load_sim(&fresh_path, &fresh_text);
 
     println!(
         "perf gate: baseline {baseline_path} ({} cores) vs fresh {fresh_path} ({} cores), \
@@ -126,6 +162,131 @@ fn main() {
         }
     }
 
+    if compared == 0 {
+        println!("\nSKIP: no comparable runs between the two reports");
+        return;
+    }
+    if failures.is_empty() {
+        println!("\nPASS: {compared} runs within {:.0}% of baseline", max_regression * 100.0);
+    } else {
+        println!("\nFAIL: {} of {compared} runs regressed past the threshold:", failures.len());
+        for f in &failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The `BENCH_net` variant: actors/sec gates per backend, peak RSS only
+/// warns (the memory trajectory is informational — a bigger grid point
+/// legitimately raises the process high-water mark).
+fn gate_net(
+    baseline_path: &str,
+    baseline: BenchNetReport,
+    fresh_path: &str,
+    fresh: BenchNetReport,
+    max_regression: f64,
+) {
+    println!(
+        "perf gate (net): baseline {baseline_path} ({} cores) vs fresh {fresh_path} \
+         ({} cores), threshold {:.0}%",
+        baseline.host_cores,
+        fresh.host_cores,
+        max_regression * 100.0
+    );
+    if baseline.host_cores != fresh.host_cores {
+        println!(
+            "SKIP: core count differs (baseline {}, fresh {}) — actors/sec is not comparable \
+             across hosts; re-record the baseline on this machine to arm the gate",
+            baseline.host_cores, fresh.host_cores
+        );
+        return;
+    }
+    if baseline.quick != fresh.quick {
+        println!(
+            "note: grid size differs (baseline quick={}, fresh quick={}) — only scenarios \
+             with matching epoch counts are compared",
+            baseline.quick, fresh.quick
+        );
+    }
+    println!(
+        "\n{:>7} {:>8} {:>7} {:>9} {:>14} {:>14} {:>9}",
+        "peers", "helpers", "actors", "backend", "base a/s", "fresh a/s", "ratio"
+    );
+    let mut compared = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for base_scenario in &baseline.scenarios {
+        let Some(fresh_scenario) =
+            fresh.scenarios.iter().find(|s| s.key() == base_scenario.key())
+        else {
+            println!(
+                "{:>7} {:>8} {:>7}  (not in fresh report — skipped)",
+                base_scenario.peers, base_scenario.helpers, base_scenario.actors
+            );
+            continue;
+        };
+        if base_scenario.epochs != fresh_scenario.epochs {
+            println!(
+                "{:>7} {:>8} {:>7}  (epochs differ: baseline {}, fresh {} — skipped)",
+                base_scenario.peers,
+                base_scenario.helpers,
+                base_scenario.actors,
+                base_scenario.epochs,
+                fresh_scenario.epochs
+            );
+            continue;
+        }
+        for (backend, threads, base_aps) in &base_scenario.runs {
+            // Match by backend *and* recorded thread count — a 4-thread
+            // fresh run is not comparable with a 1-thread baseline.
+            let Some(fresh_aps) = fresh_scenario
+                .runs
+                .iter()
+                .find(|(b, t, _)| b == backend && t == threads)
+                .map(|&(_, _, a)| a)
+            else {
+                continue;
+            };
+            let ratio = fresh_aps / base_aps.max(1e-12);
+            compared += 1;
+            let verdict = if ratio < 1.0 - max_regression { "FAIL" } else { "ok" };
+            println!(
+                "{:>7} {:>8} {:>7} {:>9} {:>14.0} {:>14.0} {:>8.2}x {verdict}",
+                base_scenario.peers,
+                base_scenario.helpers,
+                base_scenario.actors,
+                backend,
+                base_aps,
+                fresh_aps,
+                ratio
+            );
+            if ratio < 1.0 - max_regression {
+                failures.push(format!(
+                    "{} actors {backend}: {:.0} -> {:.0} actors/sec ({:.0}% drop)",
+                    base_scenario.actors,
+                    base_aps,
+                    fresh_aps,
+                    (1.0 - ratio) * 100.0
+                ));
+            }
+        }
+        // Peak RSS: warn-only. A >threshold rise on a matched scenario
+        // is worth eyes, never a red build.
+        if base_scenario.peak_rss_kb > 0 && fresh_scenario.peak_rss_kb > 0 {
+            let rss_ratio =
+                fresh_scenario.peak_rss_kb as f64 / base_scenario.peak_rss_kb as f64;
+            if rss_ratio > 1.0 + max_regression {
+                println!(
+                    "WARN: {} actors peak RSS {} MB -> {} MB (+{:.0}%) — memory regression \
+                     (warn-only; throughput is the gate)",
+                    base_scenario.actors,
+                    base_scenario.peak_rss_kb / 1024,
+                    fresh_scenario.peak_rss_kb / 1024,
+                    (rss_ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
     if compared == 0 {
         println!("\nSKIP: no comparable runs between the two reports");
         return;

@@ -221,6 +221,140 @@ pub fn parse_bench_sim(text: &str) -> Result<BenchSimReport, String> {
     Ok(BenchSimReport { host_cores, quick, scenarios })
 }
 
+/// Peak resident set size of this process so far (`VmHWM`, in kB), read
+/// from `/proc/self/status`. Returns 0 where the file is unavailable
+/// (non-Linux), so callers can record it unconditionally.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Parsed view of a `BENCH_net.json` backend-throughput report, for the
+/// perf gate's scenario-by-scenario comparison (same hand-rolled reader
+/// rationale as [`parse_bench_sim`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchNetReport {
+    /// `available_parallelism` of the host that produced the report.
+    pub host_cores: usize,
+    /// Whether the quick (CI-sized) grid was used.
+    pub quick: bool,
+    /// One entry per grid point.
+    pub scenarios: Vec<BenchNetScenario>,
+}
+
+/// One grid point of a [`BenchNetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchNetScenario {
+    /// Peer population.
+    pub peers: usize,
+    /// Helper count.
+    pub helpers: usize,
+    /// Total actors (peers + helpers).
+    pub actors: usize,
+    /// Epochs each run executed (throughput comparability key, as in
+    /// [`BenchSimScenario::epochs`]).
+    pub epochs: u64,
+    /// Process peak RSS (`VmHWM`, kB) recorded right after this
+    /// scenario's runs. The grid runs smallest-first, so the first
+    /// scenario that bumps the high-water mark owns it; 0 when the
+    /// producing host could not read it.
+    pub peak_rss_kb: u64,
+    /// `(backend, threads, actors_per_sec)` per timed run.
+    pub runs: Vec<(String, usize, f64)>,
+}
+
+impl BenchNetScenario {
+    /// Stable identity of a grid point across reports.
+    pub fn key(&self) -> (usize, usize, usize) {
+        (self.peers, self.helpers, self.actors)
+    }
+
+    /// Actors/sec recorded for `backend`, if that run exists.
+    pub fn actors_per_sec(&self, backend: &str) -> Option<f64> {
+        self.runs.iter().find(|(b, _, _)| b == backend).map(|&(_, _, a)| a)
+    }
+}
+
+/// Parses a `BENCH_net.json` report.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (missing header
+/// fields or no scenarios).
+pub fn parse_bench_net(text: &str) -> Result<BenchNetReport, String> {
+    let mut host_cores = None;
+    let mut quick = false;
+    let mut scenarios: Vec<BenchNetScenario> = Vec::new();
+    let mut in_scenarios = false;
+    for line in text.lines() {
+        if line.contains("\"scenarios\"") {
+            in_scenarios = true;
+        }
+        if host_cores.is_none() {
+            if let Some(cores) = json_usize(line, "host_cores") {
+                host_cores = Some(cores);
+            }
+        }
+        if let Some(q) = json_field(line, "quick") {
+            quick = q == "true";
+        }
+        if let Some(backend) = json_field(line, "backend") {
+            let (Some(threads), Some(aps)) =
+                (json_usize(line, "threads"), json_f64(line, "actors_per_sec"))
+            else {
+                return Err("run line missing threads/actors_per_sec".to_string());
+            };
+            let Some(current) = scenarios.last_mut() else {
+                return Err("run line before any scenario".to_string());
+            };
+            current.runs.push((backend, threads, aps));
+            continue;
+        }
+        if in_scenarios {
+            if let Some(peers) = json_usize(line, "peers") {
+                scenarios.push(BenchNetScenario {
+                    peers,
+                    helpers: 0,
+                    actors: 0,
+                    epochs: 0,
+                    peak_rss_kb: 0,
+                    runs: Vec::new(),
+                });
+                continue;
+            }
+        }
+        if let Some(current) = scenarios.last_mut() {
+            if let Some(helpers) = json_usize(line, "helpers") {
+                current.helpers = helpers;
+            }
+            if let Some(actors) = json_usize(line, "actors") {
+                current.actors = actors;
+            }
+            if let Some(epochs) = json_usize(line, "epochs") {
+                current.epochs = epochs as u64;
+            }
+            if let Some(rss) = json_usize(line, "peak_rss_kb") {
+                current.peak_rss_kb = rss as u64;
+            }
+        }
+    }
+    let host_cores = host_cores.ok_or("missing host_cores field")?;
+    if scenarios.is_empty() {
+        return Err("no scenarios found".to_string());
+    }
+    if scenarios.iter().any(|s| s.runs.is_empty()) {
+        return Err("scenario without runs".to_string());
+    }
+    Ok(BenchNetReport { host_cores, quick, scenarios })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +425,67 @@ mod tests {
     fn parser_rejects_garbage() {
         assert!(parse_bench_sim("{}").is_err());
         assert!(parse_bench_sim("{\"host_cores\": 2}").is_err());
+    }
+
+    #[test]
+    fn parses_the_bench_net_format() {
+        let text = r#"{
+  "bench": "net_backend_grid",
+  "host_cores": 4,
+  "quick": true,
+  "scenarios": [
+    {
+      "peers": 152,
+      "helpers": 8,
+      "actors": 160,
+      "epochs": 50,
+      "peak_rss_kb": 20480,
+      "identical_output": true,
+      "runs": [
+        {"backend": "threaded", "threads": 1, "secs": 0.3, "actors_per_sec": 26666.0, "welfare_checksum": 1.0},
+        {"backend": "reactor", "threads": 1, "secs": 0.01, "actors_per_sec": 800000.0, "welfare_checksum": 1.0}
+      ]
+    },
+    {
+      "peers": 99936,
+      "helpers": 64,
+      "actors": 100000,
+      "epochs": 8,
+      "peak_rss_kb": 4194304,
+      "identical_output": true,
+      "runs": [
+        {"backend": "reactor", "threads": 1, "secs": 10.0, "actors_per_sec": 80000.0, "welfare_checksum": 2.0}
+      ]
+    }
+  ]
+}"#;
+        let report = parse_bench_net(text).unwrap();
+        assert_eq!(report.host_cores, 4);
+        assert!(report.quick);
+        assert_eq!(report.scenarios.len(), 2);
+        let first = &report.scenarios[0];
+        assert_eq!(first.key(), (152, 8, 160));
+        assert_eq!(first.epochs, 50);
+        assert_eq!(first.peak_rss_kb, 20480);
+        assert_eq!(first.actors_per_sec("reactor"), Some(800000.0));
+        assert_eq!(first.actors_per_sec("carrier-pigeon"), None);
+        assert_eq!(report.scenarios[1].actors, 100000);
+    }
+
+    #[test]
+    fn bench_net_parser_rejects_garbage() {
+        assert!(parse_bench_net("{}").is_err());
+        assert!(parse_bench_net("{\"host_cores\": 2}").is_err());
+    }
+
+    #[test]
+    fn peak_rss_reads_something_on_linux() {
+        // On Linux the test process certainly has a nonzero high-water
+        // mark; elsewhere the helper degrades to 0 by contract.
+        let rss = peak_rss_kb();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 0, "VmHWM should be positive, got {rss}");
+        }
     }
 
     #[test]

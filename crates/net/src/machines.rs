@@ -12,6 +12,7 @@
 
 use rths_sim::helper::{Helper, HelperId};
 use rths_sim::peer::{Peer, PeerId};
+use rths_sim::regret::RegretLedger;
 use rths_sim::server::StreamingServer;
 use rths_sim::{SimConfig, SimMetrics};
 use rths_stoch::rng::entity_rng;
@@ -208,8 +209,16 @@ pub struct CoordinatorMachine {
     epoch: u64,
     metrics: SimMetrics,
     server: StreamingServer,
-    /// Cumulative true-regret sums, laid out `peer·h² + played·h + alt`.
-    regret_sums: Vec<f64>,
+    /// Stretch-folded true-regret accounting — `O(n·h)` memory instead
+    /// of the historical dense `n·h²` table (~650 MB at 2×10⁴ peers ×
+    /// 64 helpers, ~3.3 GB at 10⁵), sharing the exact record arithmetic
+    /// of the simulator's peer store (see `rths_sim::regret`).
+    regret: RegretLedger,
+    /// Per-shard maxima scratch for the sharded regret record phase.
+    shard_max: Vec<f64>,
+    /// Epoch fold of the learner-reported internal regret estimates
+    /// (order-insensitive max over non-negatives).
+    worst_estimate: f64,
     last_helper: Vec<Option<usize>>,
     scratch: CoordScratch,
     selected: usize,
@@ -222,6 +231,10 @@ impl CoordinatorMachine {
     pub fn new(sim: &SimConfig, helper_min_total: f64) -> Self {
         let n = sim.num_peers;
         let h = sim.helpers.len();
+        let mut regret = RegretLedger::new(&[h]);
+        for _ in 0..n {
+            regret.add_peer();
+        }
         Self {
             num_peers: n,
             num_helpers: h,
@@ -230,7 +243,9 @@ impl CoordinatorMachine {
             epoch: 0,
             metrics: SimMetrics::new(h),
             server: StreamingServer::new(),
-            regret_sums: vec![0.0; n * h * h],
+            regret,
+            shard_max: Vec::new(),
+            worst_estimate: 0.0,
             last_helper: vec![None; n],
             scratch: CoordScratch::default(),
             selected: 0,
@@ -267,6 +282,7 @@ impl CoordinatorMachine {
         self.selected = 0;
         self.reports = 0;
         self.observed = 0;
+        self.worst_estimate = 0.0;
     }
 
     /// A peer committed to a helper.
@@ -287,9 +303,14 @@ impl CoordinatorMachine {
         self.reports += 1;
     }
 
-    /// A peer observed its realized rate.
-    pub fn on_observed(&mut self, peer: u64, rate: f64) {
+    /// A peer observed its realized rate. `estimate` is the peer's
+    /// learner-reported internal regret estimate (its virtual-play `Q`
+    /// maximum; `0.0` when estimate tracking is disabled) — folded into
+    /// the epoch's `worst_regret_estimate` with an order-insensitive max
+    /// over non-negatives, so arrival order cannot perturb the series.
+    pub fn on_observed(&mut self, peer: u64, rate: f64, estimate: f64) {
         self.scratch.rates[peer as usize] = rate;
+        self.worst_estimate = self.worst_estimate.max(estimate);
         self.observed += 1;
     }
 
@@ -300,7 +321,8 @@ impl CoordinatorMachine {
 
     /// Records the epoch's metrics — mirroring
     /// `rths_sim::System::step_epoch` arithmetic exactly, in the same
-    /// index-ordered float reduction order.
+    /// index-ordered float reduction order (and the exact same
+    /// stretch-folded regret record function, see `rths_sim::regret`).
     ///
     /// # Panics
     ///
@@ -310,7 +332,6 @@ impl CoordinatorMachine {
         let n = self.num_peers;
         let h = self.num_helpers;
         let demand = self.demand;
-        let epoch = self.epoch;
         let CoordScratch { chosen, loads, capacities, rates, join_rates, residuals } =
             &mut self.scratch;
 
@@ -322,21 +343,21 @@ impl CoordinatorMachine {
             }
         }));
         let mut welfare = 0.0;
-        for i in 0..n {
-            let a = chosen[i];
-            let rate = rates[i];
+        for &rate in rates.iter() {
             welfare += rate;
             residuals.push(match demand {
                 Some(d) => (d - rate).max(0.0),
                 None => 0.0,
             });
-            let base = i * h * h + a * h;
-            for (k, &jr) in join_rates.iter().enumerate() {
-                if k != a {
-                    self.regret_sums[base + k] += jr - rate;
-                }
-            }
         }
+        // Stretch-folded true regret, sharded over contiguous peer
+        // ranges with a shard-ordered max reduction. The worker count is
+        // capped so each shard amortizes its spawn
+        // (`rths_par::MIN_ITEMS_PER_WORKER`); the result is bit-identical
+        // at any shard count.
+        self.regret.advance_epoch(&[0, h], join_rates);
+        let shards = rths_par::threads().min(n / rths_par::MIN_ITEMS_PER_WORKER).max(1);
+        let emp = self.regret.record_all_max(chosen, rates, shards, &mut self.shard_max);
         let total_demand = demand.unwrap_or(0.0) * n as f64;
         let helper_now: f64 = capacities.iter().sum();
         let server_epoch = self.server.settle_epoch(
@@ -352,13 +373,12 @@ impl CoordinatorMachine {
         self.metrics.current_deficit.push(server_epoch.current_deficit);
         self.metrics.population.push(n as f64);
         self.metrics.jain.push(rths_math::stats::jain_index(rates));
-        // Internal learner regrets live inside the peers; the coordinator
-        // reports only the empirical series (estimated series is filled
-        // with the empirical value so downstream plots stay aligned).
-        let max_sum = self.regret_sums.iter().copied().fold(0.0f64, f64::max);
-        let emp = max_sum / (epoch + 1) as f64;
         self.metrics.worst_empirical_regret.push(emp);
-        self.metrics.worst_regret_estimate.push(emp);
+        // The estimate series is the learner-reported virtual-play `Q`
+        // maxima the peers attach to their observations — the same
+        // derivation the simulator's observe phase uses, not a copy of
+        // the empirical series (the two agree only in the limit).
+        self.metrics.worst_regret_estimate.push(self.worst_estimate);
         let mut switched = 0usize;
         for (last, &now) in self.last_helper.iter_mut().zip(chosen.iter()) {
             if let Some(prev) = *last {
@@ -472,7 +492,7 @@ mod tests {
         c.on_helper_report(0, 2, 800.0);
         c.on_helper_report(1, 2, 800.0);
         for p in 0..4 {
-            c.on_observed(p, 400.0);
+            c.on_observed(p, 400.0, 0.5 + p as f64 / 10.0);
         }
         assert!(c.epoch_complete());
         c.finish_epoch();
@@ -480,6 +500,14 @@ mod tests {
         let (metrics, rates, continuity) = c.finalize(&[]);
         assert_eq!(metrics.welfare.values(), &[1600.0]);
         assert_eq!(metrics.helper_loads[0].values(), &[2.0]);
+        // The estimate series is the max of the peers' reported internal
+        // estimates (0.5..0.8 above) — not a copy of the empirical one.
+        assert_eq!(metrics.worst_regret_estimate.values(), &[0.8]);
+        assert_ne!(
+            metrics.worst_regret_estimate.values()[0],
+            metrics.worst_empirical_regret.values()[0],
+            "estimate must be learner-derived, not the empirical value"
+        );
         assert!(rates.is_empty() && continuity.is_empty());
     }
 

@@ -77,6 +77,9 @@ pub enum CoordMsg {
         epoch: u64,
         /// Realized rate after the demand cap.
         rate: f64,
+        /// The learner's internal regret estimate after the observation
+        /// (virtual-play `Q` maximum; `0.0` when tracking is disabled).
+        estimate: f64,
     },
     /// A helper settled the epoch.
     HelperReport {

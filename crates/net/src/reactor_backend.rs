@@ -111,6 +111,9 @@ pub enum NetMsg {
         epoch: u64,
         /// Realized (demand-capped) rate.
         rate: f64,
+        /// The learner's internal regret estimate after the observation
+        /// (`0.0` when tracking is disabled).
+        estimate: f64,
     },
     /// Driver → helper: availability change (failure injection).
     SetOnline(bool),
@@ -222,6 +225,8 @@ pub struct PeerNode {
     coordinator: ActorId,
     /// Actor id of helper 0, learned from the tracker at bootstrap.
     helper_base: Option<usize>,
+    /// Attach the learner's internal regret estimate to observations.
+    track_estimate: bool,
     control: u64,
 }
 
@@ -280,9 +285,9 @@ impl Actor for NetActor {
                     node.machine.on_helper_report(helper, load, capacity);
                     node.maybe_finish_epoch(ctx);
                 }
-                NetMsg::Observed { peer, rate, epoch } => {
+                NetMsg::Observed { peer, rate, estimate, epoch } => {
                     debug_assert_eq!(epoch, node.machine.epoch());
-                    node.machine.on_observed(peer, rate);
+                    node.machine.on_observed(peer, rate, estimate);
                     node.maybe_finish_epoch(ctx);
                 }
                 other => unreachable!("coordinator got {other:?}"),
@@ -345,10 +350,15 @@ impl Actor for NetActor {
                 }
                 NetMsg::Rate { epoch, kbps } => {
                     let rate = node.machine.on_rate(kbps);
+                    let estimate = if node.track_estimate {
+                        node.machine.peer().max_regret()
+                    } else {
+                        0.0
+                    };
                     node.control += 1;
                     ctx.send(
                         node.coordinator,
-                        NetMsg::Observed { peer: node.machine.id(), epoch, rate },
+                        NetMsg::Observed { peer: node.machine.id(), epoch, rate, estimate },
                     );
                 }
                 other => unreachable!("peer got {other:?}"),
@@ -429,6 +439,7 @@ impl ReactorRuntime {
                 machine: PeerMachine::from_config(sim, id, h, faults),
                 coordinator,
                 helper_base: None,
+                track_estimate: config.track_estimate,
                 control: 0,
             }));
         }

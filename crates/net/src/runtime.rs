@@ -58,6 +58,12 @@ pub struct NetConfig {
     pub faults: FaultPlan,
     /// Hosting runtime.
     pub backend: Backend,
+    /// Whether peers attach their learner's internal regret estimate to
+    /// every observation (the `worst_regret_estimate` series). Deriving
+    /// it is an `O(m²)` scan of the proxy matrix per peer per epoch —
+    /// the same cost trade the simulator's `track_estimate` flag
+    /// controls — so throughput benches disable it. **Default: on.**
+    pub track_estimate: bool,
 }
 
 impl NetConfig {
@@ -74,13 +80,26 @@ impl NetConfig {
             sim.churn.arrival_rate() == 0.0 && sim.churn.departure_prob() == 0.0,
             "the decentralized runtimes require a churn-free configuration"
         );
-        Self { sim, faults: FaultPlan::none(), backend: Backend::default() }
+        Self {
+            sim,
+            faults: FaultPlan::none(),
+            backend: Backend::default(),
+            track_estimate: true,
+        }
     }
 
     /// Adds a fault plan.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables/disables per-peer internal regret estimates (see
+    /// [`track_estimate`](Self::track_estimate)).
+    #[must_use]
+    pub fn with_track_estimate(mut self, track: bool) -> Self {
+        self.track_estimate = track;
         self
     }
 
@@ -215,6 +234,7 @@ impl NetRuntime {
         // Peer actors.
         let mut peer_endpoints = Vec::new();
         let mut peer_handles = Vec::new();
+        let track_estimate = config.track_estimate;
         for id in 0..sim.num_peers as u64 {
             let machine = PeerMachine::from_config(sim, id, tracker.num_helpers(), faults);
             let (tx, rx) = unbounded::<PeerMsg>();
@@ -223,7 +243,7 @@ impl NetRuntime {
             let coord = coord_tx.clone();
             let counters_p = Arc::clone(&counters);
             peer_handles.push(std::thread::spawn(move || {
-                peer_actor(machine, tx, rx, helpers, coord, faults, counters_p)
+                peer_actor(machine, tx, rx, helpers, coord, faults, counters_p, track_estimate)
             }));
         }
 
@@ -322,9 +342,9 @@ impl NetRuntime {
                     debug_assert_eq!(e, epoch);
                     self.coord.on_helper_report(helper, load, capacity);
                 }
-                CoordMsg::Observed { peer, rate, epoch: e } => {
+                CoordMsg::Observed { peer, rate, estimate, epoch: e } => {
                     debug_assert_eq!(e, epoch);
-                    self.coord.on_observed(peer, rate);
+                    self.coord.on_observed(peer, rate, estimate);
                 }
                 other => unreachable!("unexpected message in settle phase: {other:?}"),
             }
@@ -377,6 +397,7 @@ fn helper_actor(
 
 /// Peer actor body: a [`PeerMachine`] plus the channel plumbing. Returns
 /// the peer state for final reporting.
+#[allow(clippy::too_many_arguments)]
 fn peer_actor(
     mut machine: PeerMachine,
     self_tx: Sender<PeerMsg>,
@@ -385,6 +406,7 @@ fn peer_actor(
     coord: Sender<CoordMsg>,
     faults: FaultPlan,
     counters: Arc<MessageCounters>,
+    track_estimate: bool,
 ) -> Peer {
     let id = machine.id();
     while let Ok(msg) = inbox.recv() {
@@ -408,9 +430,10 @@ fn peer_actor(
             }
             PeerMsg::Rate { epoch, kbps } => {
                 let rate = machine.on_rate(kbps);
+                let estimate = if track_estimate { machine.peer().max_regret() } else { 0.0 };
                 counters.control();
                 coord
-                    .send(CoordMsg::Observed { peer: id, epoch, rate })
+                    .send(CoordMsg::Observed { peer: id, epoch, rate, estimate })
                     .expect("coordinator alive");
             }
             PeerMsg::Shutdown => break,

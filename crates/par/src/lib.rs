@@ -55,6 +55,24 @@
 /// simulation runs, one per seed) and has no such cutoff.
 pub const MIN_PARALLEL_ITEMS: usize = 64;
 
+/// Advisory sequential cutoff for *sharded per-entity phases*: spawning
+/// a worker only pays off once its contiguous shard holds at least this
+/// many fine-grained items (one peer's choose/observe step is ~0.1–2 µs;
+/// a scoped spawn plus join costs tens of µs, so a worker needs a couple
+/// thousand items to amortize it). The committed `BENCH_sim.json`
+/// demonstrated the pathology this guards against: 2- and 4-thread runs
+/// were *slower* than sequential for every population ≤ 4×10³ (e.g.
+/// 2 861 → 2 122 epochs/s at n = 200, threads 4).
+///
+/// [`par_sharded`] itself cannot apply the cutoff — it does not know the
+/// weight of an item (the reactor passes a handful of whole mailbox
+/// shards, each worth milliseconds) — so callers with per-entity items
+/// cap their *requested* shard count with it, e.g.
+/// `threads().min(len / MIN_ITEMS_PER_WORKER).max(1)` in the peer
+/// stores and the net coordinator. Shard counts never change results
+/// (bit-identical by construction), so the cap is pure scheduling.
+pub const MIN_ITEMS_PER_WORKER: usize = 2048;
+
 /// The configured worker count: the innermost [`with_threads`] override on
 /// this thread if one is active, else `RTHS_THREADS` if set to a positive
 /// integer, otherwise `1` (sequential).

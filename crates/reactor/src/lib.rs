@@ -21,16 +21,28 @@
 //! [`Reactor::run_until_idle`] repeats this until there are neither
 //! messages nor timers left.
 //!
+//! # Mailbox rings
+//!
+//! Mailboxes are not per-actor queues: actors are grouped into
+//! contiguous shards of [`SHARD_SPAN`] and each shard owns **one
+//! power-of-two message ring** with per-actor head/len cursors — a
+//! delivery batch is packed contiguously per destination, a round drains
+//! each actor's span in place. Per-actor memory is two `u32` cursors
+//! instead of a `VecDeque` handle plus a private heap block, which is
+//! what keeps 10⁵-actor meshes cache- and allocator-friendly. See
+//! [`reactor`](mod@crate::reactor)'s module docs for the layout.
+//!
 //! # Determinism contract
 //!
 //! Delivery order is a pure function of the actor graph: sender index,
 //! per-sender send order, and timer schedule order. Because the merge is
-//! index-ordered, sharding a round's actor processing across `RTHS_THREADS`
-//! workers (via [`rths_par::par_chunks_mut`]) cannot reorder anything —
-//! a run is **bit-for-bit identical at any worker count**, which is what
-//! lets `rths_net`'s reactor backend reproduce both the simulator and the
-//! thread-per-actor backend exactly (see `tests/sim_net_equivalence.rs` in
-//! the workspace root).
+//! index-ordered (shards merge in shard order, actors within a shard run
+//! in index order), sharding a round's processing across `RTHS_THREADS`
+//! workers (via [`rths_par::par_sharded`]) cannot reorder anything —
+//! a run is **bit-for-bit identical at any worker count and any shard
+//! span**, which is what lets `rths_net`'s reactor backend reproduce
+//! both the simulator and the thread-per-actor backend exactly (see
+//! `tests/sim_net_equivalence.rs` in the workspace root).
 //!
 //! # Example
 //!
@@ -63,5 +75,5 @@
 mod reactor;
 mod wheel;
 
-pub use reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats};
+pub use reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats, SHARD_SPAN};
 pub use wheel::TimerWheel;

@@ -1,8 +1,50 @@
-//! The reactor: actors, mailboxes, and the round scheduler.
-
-use std::collections::VecDeque;
+//! The reactor: actors, per-shard mailbox rings, and the round scheduler.
+//!
+//! # Mailbox layout
+//!
+//! Historically every actor owned a `VecDeque` inbox — a 32-byte handle
+//! plus one heap block per actor, which at 10⁵ actors is pure overhead:
+//! the allocator touches one scattered block per actor per round.
+//! Mailboxes are now flattened into **one power-of-two message ring per
+//! shard** of [`SHARD_SPAN`]-actor ranges, with two `u32` cursors per
+//! actor:
+//!
+//! ```text
+//! shard s hosts actors [s·SPAN, (s+1)·SPAN)
+//! ┌─────────────── ring (power-of-two capacity) ───────────────┐
+//! │ … a₃ a₃ │ a₇ │ a₁ a₁ a₁ │ (free) … wraps around            │
+//! └──────────┴────┴──────────┴────────────────────────────────-┘
+//!     heads[3]  heads[7]  heads[1]   ← per-actor head/len cursors
+//! ```
+//!
+//! Each delivery batch (a round's merged sends, fired timers, external
+//! injections) is *packed*: per-destination counts first, then every
+//! actor's messages are placed contiguously at its `head`, in source
+//! order. A round drains each actor's span in place while new sends go
+//! to the shard's per-round buffer, so the ring is never mutated
+//! concurrently with a drain ("drain-while-push" is buffered, not
+//! interleaved). The ring grows (next power of two) only when a batch
+//! exceeds capacity — all spans are empty at pack time, so growth never
+//! copies live messages — and otherwise the write cursor just keeps
+//! wrapping.
+//!
+//! # Determinism
+//!
+//! A round processes shards in index order (sharded across `rths_par`
+//! workers), actors in index order within a shard, and each actor's span
+//! in FIFO order; every send is buffered in its *sender's* shard buffer,
+//! and buffers merge shard-by-shard — i.e. in global sender-index order.
+//! Neither the worker count nor [`SHARD_SPAN`] can therefore perturb a
+//! single bit of any trajectory (the unit tests sweep both).
 
 use crate::wheel::TimerWheel;
+
+/// Actors per mailbox shard (power of two). One shard is the unit of
+/// round-parallelism: ~10³ actor-messages amortize a worker spawn, and a
+/// 10⁵-actor mesh still fans out across ~100 shards. The value never
+/// affects results; [`Reactor::with_shard_span`] overrides it (tests
+/// sweep tiny spans to exercise wraparound and multi-shard merges).
+pub const SHARD_SPAN: usize = 1024;
 
 /// Index of an actor inside a [`Reactor`] — assigned densely by
 /// [`Reactor::add_actor`] and used as the message address.
@@ -32,9 +74,10 @@ pub trait Actor: Send {
 
 /// Per-delivery handle an actor uses to send messages and schedule timers.
 ///
-/// Sends are buffered per sender and merged into destination mailboxes in
-/// sender-index order after the round — never delivered re-entrantly — so
-/// handling stays deterministic at any worker count.
+/// Sends are buffered per shard (actors within a shard run sequentially
+/// in index order) and merged into destination mailboxes in sender-index
+/// order after the round — never delivered re-entrantly — so handling
+/// stays deterministic at any worker count.
 #[derive(Debug)]
 pub struct Ctx<'a, M> {
     now: u64,
@@ -81,13 +124,80 @@ impl<M> Ctx<'_, M> {
     }
 }
 
-/// One hosted actor with its mailbox and per-round outgoing buffers.
+/// One mailbox shard: a contiguous actor range, their shared message
+/// ring with per-actor cursors, and the shard's per-round outgoing
+/// buffers.
 #[derive(Debug)]
-struct Slot<A: Actor> {
-    actor: A,
-    inbox: VecDeque<A::Msg>,
+struct MailShard<A: Actor> {
+    actors: Vec<A>,
+    /// The shared message ring (power-of-two capacity; `None` = empty
+    /// slot). `Option` costs nothing for niche-rich message enums and
+    /// lets a drain move messages out without `unsafe`.
+    ring: Vec<Option<A::Msg>>,
+    /// Next free ring position (wraps with the capacity mask).
+    tail: usize,
+    /// Occupied ring slots.
+    live: usize,
+    /// Per-actor span start in the ring (meaningful while `lens > 0`).
+    heads: Vec<u32>,
+    /// Per-actor pending message count.
+    lens: Vec<u32>,
+    /// Per-actor pack cursor (scratch; always back to 0 after a round).
+    cursors: Vec<u32>,
+    /// Incoming messages of the batch being packed (scratch).
+    incoming: usize,
+    /// Sends buffered by this shard's actors during the current round.
     sends: Vec<(ActorId, A::Msg)>,
+    /// Timers scheduled by this shard's actors during the current round.
     timers: Vec<(u64, ActorId, A::Msg)>,
+}
+
+impl<A: Actor> MailShard<A> {
+    fn new() -> Self {
+        Self {
+            actors: Vec::new(),
+            ring: Vec::new(),
+            tail: 0,
+            live: 0,
+            heads: Vec::new(),
+            lens: Vec::new(),
+            cursors: Vec::new(),
+            incoming: 0,
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Makes room for the batch counted in `incoming`. Called only when
+    /// every span is drained (`live == 0`), so growth never copies live
+    /// messages; otherwise the write cursor keeps wrapping.
+    fn reserve_batch(&mut self) {
+        if self.incoming == 0 {
+            return;
+        }
+        debug_assert_eq!(self.live, 0, "pack with undrained spans");
+        if self.incoming > self.ring.len() {
+            let cap = self.incoming.next_power_of_two();
+            self.ring.clear();
+            self.ring.resize_with(cap, || None);
+            self.tail = 0;
+        }
+    }
+
+    /// Assigns `local`'s span (if not yet assigned this batch) and
+    /// places one message at its pack cursor.
+    fn place(&mut self, local: usize, msg: A::Msg) {
+        let mask = self.ring.len() - 1;
+        if self.cursors[local] == 0 {
+            self.heads[local] = (self.tail & mask) as u32;
+            self.tail = (self.tail + self.lens[local] as usize) & mask;
+        }
+        let at = (self.heads[local] as usize + self.cursors[local] as usize) & mask;
+        debug_assert!(self.ring[at].is_none(), "ring slot double-booked");
+        self.ring[at] = Some(msg);
+        self.cursors[local] += 1;
+        self.live += 1;
+    }
 }
 
 /// Counters describing one reactor run (cumulative across
@@ -102,12 +212,23 @@ pub struct ReactorStats {
     pub timers_fired: u64,
 }
 
-/// The event loop: owns every actor, their mailboxes, and the timer wheel.
+/// The event loop: owns every actor, the sharded mailbox rings, and the
+/// timer wheel.
 ///
 /// See the crate docs for the execution model and determinism contract.
 #[derive(Debug)]
 pub struct Reactor<A: Actor> {
-    slots: Vec<Slot<A>>,
+    shards: Vec<MailShard<A>>,
+    /// Actors per shard (power of two).
+    span: usize,
+    span_bits: u32,
+    actors_total: usize,
+    /// External deliveries (injections, fired timers) awaiting a pack.
+    staged: Vec<(ActorId, A::Msg)>,
+    /// Reusable per-shard swap buffers for the merge step.
+    send_batches: Vec<Vec<(ActorId, A::Msg)>>,
+    /// Per-worker scratch for the sharded round (unit payload).
+    round_scratch: Vec<()>,
     wheel: TimerWheel<A::Msg>,
     now: u64,
     pending: usize,
@@ -121,10 +242,29 @@ impl<A: Actor> Default for Reactor<A> {
 }
 
 impl<A: Actor> Reactor<A> {
-    /// Creates an empty reactor at logical time zero.
+    /// Creates an empty reactor at logical time zero with the default
+    /// [`SHARD_SPAN`].
     pub fn new() -> Self {
+        Self::with_shard_span(SHARD_SPAN)
+    }
+
+    /// Creates an empty reactor whose mailbox shards span `span` actors
+    /// (power of two). The span trades parallel granularity against
+    /// per-shard overhead and **never affects results**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero or not a power of two.
+    pub fn with_shard_span(span: usize) -> Self {
+        assert!(span.is_power_of_two(), "shard span must be a power of two");
         Self {
-            slots: Vec::new(),
+            shards: Vec::new(),
+            span,
+            span_bits: span.trailing_zeros(),
+            actors_total: 0,
+            staged: Vec::new(),
+            send_batches: Vec::new(),
+            round_scratch: Vec::new(),
             wheel: TimerWheel::new(),
             now: 0,
             pending: 0,
@@ -135,23 +275,28 @@ impl<A: Actor> Reactor<A> {
     /// Registers an actor, returning its id (dense, in registration
     /// order). No OS thread is spawned — the actor is polled in place.
     pub fn add_actor(&mut self, actor: A) -> ActorId {
-        self.slots.push(Slot {
-            actor,
-            inbox: VecDeque::new(),
-            sends: Vec::new(),
-            timers: Vec::new(),
-        });
-        ActorId(self.slots.len() - 1)
+        let id = self.actors_total;
+        let shard = id >> self.span_bits;
+        if shard == self.shards.len() {
+            self.shards.push(MailShard::new());
+        }
+        let s = &mut self.shards[shard];
+        s.actors.push(actor);
+        s.heads.push(0);
+        s.lens.push(0);
+        s.cursors.push(0);
+        self.actors_total += 1;
+        ActorId(id)
     }
 
     /// Number of hosted actors.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.actors_total
     }
 
     /// Whether the reactor hosts no actors.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.actors_total == 0
     }
 
     /// Current logical time.
@@ -170,7 +315,7 @@ impl<A: Actor> Reactor<A> {
     ///
     /// Panics if `id` is out of range.
     pub fn actor(&self, id: ActorId) -> &A {
-        &self.slots[id.0].actor
+        &self.shards[id.0 >> self.span_bits].actors[id.0 & (self.span - 1)]
     }
 
     /// Exclusive access to an actor (e.g. for out-of-band state changes
@@ -180,17 +325,21 @@ impl<A: Actor> Reactor<A> {
     ///
     /// Panics if `id` is out of range.
     pub fn actor_mut(&mut self, id: ActorId) -> &mut A {
-        &mut self.slots[id.0].actor
+        &mut self.shards[id.0 >> self.span_bits].actors[id.0 & (self.span - 1)]
     }
 
     /// Iterates actors in id order.
     pub fn actors(&self) -> impl Iterator<Item = &A> {
-        self.slots.iter().map(|s| &s.actor)
+        self.shards.iter().flat_map(|s| s.actors.iter())
     }
 
     /// Consumes the reactor, returning the actors in id order.
     pub fn into_actors(self) -> Vec<A> {
-        self.slots.into_iter().map(|s| s.actor).collect()
+        let mut out = Vec::with_capacity(self.actors_total);
+        for shard in self.shards {
+            out.extend(shard.actors);
+        }
+        out
     }
 
     /// Delivers `msg` to `to` from outside the actor graph (processed in
@@ -201,11 +350,11 @@ impl<A: Actor> Reactor<A> {
     /// Panics if `to` does not name a registered actor.
     pub fn inject(&mut self, to: ActorId, msg: A::Msg) {
         assert!(
-            to.0 < self.slots.len(),
+            to.0 < self.actors_total,
             "inject to unknown {to} ({} actors)",
-            self.slots.len()
+            self.actors_total
         );
-        self.slots[to.0].inbox.push_back(msg);
+        self.staged.push((to, msg));
         self.pending += 1;
         self.stats.messages += 1;
     }
@@ -222,11 +371,36 @@ impl<A: Actor> Reactor<A> {
             return;
         }
         assert!(
-            to.0 < self.slots.len(),
+            to.0 < self.actors_total,
             "schedule to unknown {to} ({} actors)",
-            self.slots.len()
+            self.actors_total
         );
         self.wheel.schedule(self.now + delay, to, msg);
+    }
+
+    /// Packs the staged external deliveries (injections, fired timers)
+    /// into the shard rings: per-destination counts, then contiguous
+    /// placement per actor in staging order.
+    fn pack_staged(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let bits = self.span_bits;
+        let mask = self.span - 1;
+        for (to, _) in &self.staged {
+            let s = &mut self.shards[to.0 >> bits];
+            s.lens[to.0 & mask] += 1;
+            s.incoming += 1;
+        }
+        for s in &mut self.shards {
+            s.reserve_batch();
+        }
+        for (to, msg) in self.staged.drain(..) {
+            self.shards[to.0 >> bits].place(to.0 & mask, msg);
+        }
+        for s in &mut self.shards {
+            s.incoming = 0;
+        }
     }
 
     /// Runs rounds (and advances logical time through the wheel) until no
@@ -243,7 +417,7 @@ impl<A: Actor> Reactor<A> {
             debug_assert!(deadline >= self.now, "timer scheduled in the past");
             self.now = self.now.max(deadline);
             for (to, msg) in self.wheel.fire_due(self.now) {
-                self.slots[to.0].inbox.push_back(msg);
+                self.staged.push((to, msg));
                 self.pending += 1;
                 self.stats.timers_fired += 1;
                 self.stats.messages += 1;
@@ -252,37 +426,98 @@ impl<A: Actor> Reactor<A> {
         self.stats
     }
 
-    /// Executes one round: every actor drains its mailbox (sharded across
-    /// `rths_par` workers when `RTHS_THREADS` > 1), then the buffered
-    /// sends are merged into destination mailboxes in sender-index order.
+    /// Executes one round: every shard drains its actors' mailbox spans
+    /// in index order (shards sharded across `rths_par` workers), then
+    /// the per-shard send buffers are merged into destination rings in
+    /// sender-index order.
     fn round(&mut self) {
+        self.pack_staged();
         let now = self.now;
-        let actors = self.slots.len();
-        rths_par::par_chunks_mut(&mut self.slots, |offset, chunk| {
-            for (k, slot) in chunk.iter_mut().enumerate() {
-                if slot.inbox.is_empty() {
-                    continue;
+        let actors = self.actors_total;
+        let span_bits = self.span_bits;
+        let num_shards = self.shards.len();
+        let workers = rths_par::threads().min(num_shards).max(1);
+        if self.round_scratch.len() < workers {
+            self.round_scratch.resize(workers, ());
+        }
+        rths_par::par_sharded(
+            num_shards,
+            workers,
+            &mut self.shards[..],
+            &mut self.round_scratch[..],
+            |range, chunk: &mut [MailShard<A>], ()| {
+                for (k, shard) in chunk.iter_mut().enumerate() {
+                    let base = (range.start + k) << span_bits;
+                    let MailShard {
+                        actors: hosted,
+                        ring,
+                        live,
+                        heads,
+                        lens,
+                        cursors,
+                        sends,
+                        timers,
+                        ..
+                    } = shard;
+                    let mask = ring.len().wrapping_sub(1);
+                    for (local, actor) in hosted.iter_mut().enumerate() {
+                        let len = lens[local] as usize;
+                        if len == 0 {
+                            continue;
+                        }
+                        let head = heads[local] as usize;
+                        lens[local] = 0;
+                        cursors[local] = 0;
+                        *live -= len;
+                        let mut ctx =
+                            Ctx { now, me: ActorId(base + local), actors, sends, timers };
+                        for k2 in 0..len {
+                            let msg = ring[(head + k2) & mask]
+                                .take()
+                                .expect("mailbox span holds a message");
+                            actor.on_message(msg, &mut ctx);
+                        }
+                    }
                 }
-                let Slot { actor, inbox, sends, timers } = slot;
-                let mut ctx = Ctx { now, me: ActorId(offset + k), actors, sends, timers };
-                while let Some(msg) = inbox.pop_front() {
-                    actor.on_message(msg, &mut ctx);
-                }
-            }
-        });
+            },
+        );
+        // Merge: count per destination, reserve each destination ring's
+        // batch in one step, then place — iterating the send buffers in
+        // shard order both times, i.e. in global sender-index order, so
+        // each destination's batch lands contiguously and FIFO.
+        let bits = self.span_bits;
+        let mask = self.span - 1;
         let mut delivered = 0usize;
-        for i in 0..self.slots.len() {
-            let mut sends = std::mem::take(&mut self.slots[i].sends);
-            for (to, msg) in sends.drain(..) {
-                self.slots[to.0].inbox.push_back(msg);
-                delivered += 1;
+        let mut batches = std::mem::take(&mut self.send_batches);
+        batches.resize_with(num_shards, Vec::new);
+        for (si, batch) in batches.iter_mut().enumerate() {
+            std::mem::swap(batch, &mut self.shards[si].sends);
+            for (to, _) in batch.iter() {
+                let d = &mut self.shards[to.0 >> bits];
+                d.lens[to.0 & mask] += 1;
+                d.incoming += 1;
             }
-            self.slots[i].sends = sends;
-            let mut timers = std::mem::take(&mut self.slots[i].timers);
+            delivered += batch.len();
+        }
+        for s in &mut self.shards {
+            s.reserve_batch();
+            s.incoming = 0;
+        }
+        for (si, batch) in batches.iter_mut().enumerate() {
+            for (to, msg) in batch.drain(..) {
+                self.shards[to.0 >> bits].place(to.0 & mask, msg);
+            }
+            // Hand the (empty, capacity-retaining) buffer back to its
+            // shard for the next round.
+            std::mem::swap(batch, &mut self.shards[si].sends);
+        }
+        self.send_batches = batches;
+        for si in 0..num_shards {
+            let mut timers = std::mem::take(&mut self.shards[si].timers);
             for (fire_at, to, msg) in timers.drain(..) {
                 self.wheel.schedule(fire_at, to, msg);
             }
-            self.slots[i].timers = timers;
+            self.shards[si].timers = timers;
         }
         self.pending = delivered;
         self.stats.rounds += 1;
@@ -403,11 +638,19 @@ mod tests {
 
     #[test]
     fn identical_at_any_worker_count() {
-        // A 300-actor mesh with long forwarding chains: every actor's full
-        // receive log must be bit-identical at 1, 2, and 4 workers.
+        // A 300-actor mesh with long forwarding chains, on 4-actor
+        // shards so multiple workers genuinely share the round: every
+        // actor's full receive log must be bit-identical at 1, 2, and 4
+        // workers.
         let run = |threads: usize| {
             with_threads(threads, || {
-                let mut reactor = mixer_ring(300, 7);
+                let mut reactor = Reactor::with_shard_span(4);
+                for i in 0..300usize {
+                    reactor.add_actor(Mixer {
+                        neighbour: ActorId((i * 7 + 1) % 300),
+                        log: Vec::new(),
+                    });
+                }
                 for i in 0..300 {
                     reactor.inject(ActorId(i), Hop { value: i as u64, hops: 40 });
                 }
@@ -421,11 +664,38 @@ mod tests {
     }
 
     #[test]
+    fn identical_at_any_shard_span() {
+        // The mailbox shard span is scheduling, not semantics: the same
+        // mesh must produce bit-identical logs at spans 1, 4, 64 and the
+        // default — including stats (delivery accounting parity).
+        let run = |span: usize| {
+            let mut reactor = Reactor::with_shard_span(span);
+            for i in 0..100usize {
+                reactor.add_actor(Mixer {
+                    neighbour: ActorId((i * 13 + 1) % 100),
+                    log: Vec::new(),
+                });
+            }
+            for i in (0..100).step_by(3) {
+                reactor.inject(ActorId(i), Hop { value: i as u64, hops: 25 });
+            }
+            let stats = reactor.run_until_idle();
+            (stats, reactor.into_actors().into_iter().map(|a| a.log).collect::<Vec<_>>())
+        };
+        let base = run(SHARD_SPAN);
+        for span in [1usize, 4, 64] {
+            assert_eq!(run(span), base, "span {span} diverged");
+        }
+    }
+
+    #[test]
     fn merge_order_is_sender_index_order() {
         // Three senders forward to the same sink within one round; the
         // sink must receive them in sender-index order at any worker
-        // count (the determinism contract's load-bearing property).
-        let mut reactor = Reactor::new();
+        // count (the determinism contract's load-bearing property) —
+        // here with the senders split across shards, so the merge
+        // crosses shard boundaries.
+        let mut reactor = Reactor::with_shard_span(2);
         for _ in 0..4usize {
             reactor.add_actor(Mixer { neighbour: ActorId(3), log: Vec::new() });
         }
@@ -437,6 +707,108 @@ mod tests {
             .map(|i| (10 + i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
             .collect();
         assert_eq!(reactor.actor(ActorId(3)).log, expect);
+    }
+
+    #[test]
+    fn ring_wraps_around_across_rounds() {
+        // A 2-actor ping-pong on a span-1 shard: each round packs one
+        // message whose placement advances the wrapping tail through a
+        // tiny power-of-two ring many times. Counts and logs must match
+        // the plain run exactly.
+        let mut reactor = Reactor::with_shard_span(1);
+        reactor.add_actor(Mixer { neighbour: ActorId(1), log: Vec::new() });
+        reactor.add_actor(Mixer { neighbour: ActorId(0), log: Vec::new() });
+        reactor.inject(ActorId(0), Hop { value: 5, hops: 40 });
+        let stats = reactor.run_until_idle();
+        assert_eq!(stats.messages, 41);
+        let lens: Vec<usize> = reactor.actors().map(|a| a.log.len()).collect();
+        assert_eq!(lens, vec![21, 20]);
+    }
+
+    #[test]
+    fn ring_grows_when_a_batch_exceeds_capacity() {
+        // Fan-in: 63 senders target one sink in a single round, then 127
+        // in a later round — the sink shard's ring must grow (next power
+        // of two) without dropping or reordering anything.
+        struct Burst {
+            sink: ActorId,
+            copies: u32,
+            log: Vec<u64>,
+        }
+        impl Actor for Burst {
+            type Msg = u64;
+            fn on_message(&mut self, v: u64, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == self.sink {
+                    self.log.push(v);
+                } else {
+                    for c in 0..self.copies {
+                        ctx.send(self.sink, v * 1000 + c as u64);
+                    }
+                }
+            }
+        }
+        let mut reactor = Reactor::with_shard_span(8);
+        let sink = ActorId(0);
+        for copies in [0u32, 1, 1, 1, 2, 2, 3, 3, 4] {
+            reactor.add_actor(Burst { sink, copies, log: Vec::new() });
+        }
+        for round in 0..6u64 {
+            for i in 1..9usize {
+                reactor.inject(ActorId(i), round * 10 + i as u64);
+            }
+            reactor.run_until_idle();
+        }
+        // Per fan-in round the sink receives Σcopies = 17 messages, in
+        // sender-index order with per-sender copy order preserved.
+        let log = &reactor.actor(sink).log;
+        assert_eq!(log.len(), 6 * 17);
+        let first: Vec<u64> = log[..17].to_vec();
+        let expect: Vec<u64> = {
+            let copies = [0u64, 1, 1, 1, 2, 2, 3, 3, 4];
+            (1..9usize)
+                .flat_map(|i| (0..copies[i]).map(move |c| (i as u64) * 1000 + c))
+                .collect()
+        };
+        assert_eq!(first, expect, "growth reordered the fan-in batch");
+    }
+
+    #[test]
+    fn drain_while_push_within_a_round() {
+        // Every actor holds several pending messages and sends while
+        // draining: the in-flight sends must buffer (never mutate the
+        // ring mid-drain) and arrive complete next round, with message
+        // accounting intact.
+        struct Chatty {
+            next: ActorId,
+            got: Vec<u64>,
+        }
+        impl Actor for Chatty {
+            type Msg = u64;
+            fn on_message(&mut self, v: u64, ctx: &mut Ctx<'_, u64>) {
+                self.got.push(v);
+                if v > 0 {
+                    // Two sends per delivery, mid-drain.
+                    ctx.send(self.next, v - 1);
+                    ctx.send(ctx.me(), 0);
+                }
+            }
+        }
+        let mut reactor = Reactor::with_shard_span(2);
+        for i in 0..6usize {
+            reactor.add_actor(Chatty { next: ActorId((i + 1) % 6), got: Vec::new() });
+        }
+        for i in 0..6 {
+            reactor.inject(ActorId(i), 3);
+            reactor.inject(ActorId(i), 2);
+        }
+        let stats = reactor.run_until_idle();
+        // Injected 12; every v>0 delivery spawns exactly 2 more.
+        // Total deliveries: 12 + 2·(# of positive deliveries).
+        let total: usize = reactor.actors().map(|a| a.got.len()).sum();
+        assert_eq!(stats.messages as usize, total, "stats lost a delivery");
+        let positive: usize =
+            reactor.actors().map(|a| a.got.iter().filter(|&&v| v > 0).count()).sum();
+        assert_eq!(total, 12 + 2 * positive);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod metrics;
 pub mod multichannel;
 pub mod peer;
 pub mod playback;
+pub mod regret;
 pub mod scenario;
 pub mod server;
 pub mod store;

@@ -41,9 +41,6 @@ pub struct Peer {
     satisfied_epochs: u64,
     last_helper: Option<usize>,
     switches: u64,
-    /// Cumulative true-regret sums, laid out `played·m + alternative`.
-    regret_sums: Vec<f64>,
-    regret_stages: u64,
 }
 
 impl Peer {
@@ -67,8 +64,6 @@ impl Peer {
             satisfied_epochs: 0,
             last_helper: None,
             switches: 0,
-            regret_sums: Vec::new(),
-            regret_stages: 0,
         }
     }
 
@@ -164,36 +159,6 @@ impl Peer {
     /// Largest internal regret estimate of the peer's learner.
     pub fn max_regret(&self) -> f64 {
         self.learner.max_regret()
-    }
-
-    /// Records this epoch's *true* (full-information) regret increments:
-    /// `played` is the helper used, `own_rate` the realized rate, and
-    /// `join_rates[k]` the counterfactual rate of switching to helper `k`.
-    ///
-    /// The simulator can compute these exactly from the load vector; the
-    /// peer's learner never sees them (bandit feedback), but Fig. 1 plots
-    /// the resulting time-averaged regret.
-    pub fn record_true_regret(&mut self, played: usize, own_rate: f64, join_rates: &[f64]) {
-        let m = join_rates.len();
-        if self.regret_sums.len() != m * m {
-            self.regret_sums = vec![0.0; m * m];
-            self.regret_stages = 0;
-        }
-        for (k, &jr) in join_rates.iter().enumerate() {
-            if k != played {
-                self.regret_sums[played * m + k] += jr - own_rate;
-            }
-        }
-        self.regret_stages += 1;
-    }
-
-    /// Time-averaged worst true regret `max_{j,k} (1/n)·Σ [...]⁺`.
-    pub fn empirical_regret(&self) -> f64 {
-        if self.regret_stages == 0 {
-            return 0.0;
-        }
-        let max_sum = self.regret_sums.iter().copied().fold(0.0f64, f64::max);
-        max_sum / self.regret_stages as f64
     }
 }
 

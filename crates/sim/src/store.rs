@@ -5,10 +5,11 @@
 //! holds one flat column per field — stable `u64` ids, `u32` channel and
 //! helper indices, the per-entity RNG streams, compact learner state
 //! (shared [`RthsConfig`] per channel + [`RthsState`] per peer, see
-//! `rths_core::compact`), the accounting scalars, and one flat `f64`
-//! true-regret row per peer — so a million-peer population is a handful
-//! of large allocations with unit-stride hot loops instead of a million
-//! scattered structs.
+//! `rths_core::compact`), the accounting scalars, and the stretch-folded
+//! true-regret ledger (one `O(m)` folded row per peer plus a global
+//! join-rate prefix, see [`crate::regret`]) — so a million-peer
+//! population is a handful of large allocations with unit-stride hot
+//! loops instead of a million scattered structs.
 //!
 //! # Sharding
 //!
@@ -39,10 +40,11 @@
 use rand::rngs::StdRng;
 
 use rths_core::{Learner, RthsConfig, RthsState};
-use rths_par::{par_sharded, Strided};
+use rths_par::par_sharded;
 use rths_stoch::rng::entity_rng;
 
 use crate::config::{Algorithm, AnyLearner, LearnerSpec};
+use crate::regret::{self, RegretLedger};
 
 /// Sentinel for "no helper chosen yet" in the `last_helper` column.
 pub const NO_HELPER: u32 = u32::MAX;
@@ -134,9 +136,11 @@ pub struct PeerStore {
     actions: Vec<u32>,
     /// Shared learner config per channel, used by the compact RTHS cells.
     configs: Vec<RthsConfig>,
-    /// Uniform stride of the flat true-regret rows: the largest `m²` over
-    /// channels, so rows stay index-aligned under churn compaction.
-    regret_stride: usize,
+    /// Stretch-folded true-regret accounting (slot-aligned columns plus
+    /// the global per-channel join-rate prefix and snapshot ring) — see
+    /// [`crate::regret`] for the invariant. Replaces the historical
+    /// dense `O(n·m²)` per-peer regret matrices.
+    regret: RegretLedger,
     /// Fixed shard count for tests/benches; `None` derives it from
     /// [`rths_par::threads`] per phase.
     shard_override: Option<usize>,
@@ -154,16 +158,6 @@ pub struct PeerStore {
     /// Last chosen helper ([`NO_HELPER`] before the first choice).
     last_helper: Vec<u32>,
     switches: Vec<u64>,
-    /// Flat true-regret rows, `regret_stride` scalars per peer, laid out
-    /// `played·m + alternative` within the row (trailing slack is zero).
-    regret_sums: Vec<f64>,
-    regret_stages: Vec<u64>,
-    /// Action-set arity the regret row currently represents (0 before
-    /// the first record). The row resets **lazily** at the next record
-    /// when the arity changed — the historical semantics, under which a
-    /// round-trip channel migration back to the original arity keeps
-    /// its accumulated regret history.
-    regret_len: Vec<u32>,
 }
 
 impl PeerStore {
@@ -189,15 +183,13 @@ impl PeerStore {
                     .expect("learner spec validated by construction")
             })
             .collect();
-        let regret_stride =
-            actions.iter().map(|&m| (m as usize) * (m as usize)).max().unwrap_or(1);
         Self {
             seed,
             spec,
             rate_scale,
             actions,
             configs,
-            regret_stride,
+            regret: RegretLedger::new(actions_per_channel),
             shard_override: None,
             next_id: 0,
             ids: Vec::new(),
@@ -211,9 +203,6 @@ impl PeerStore {
             satisfied_epochs: Vec::new(),
             last_helper: Vec::new(),
             switches: Vec::new(),
-            regret_sums: Vec::new(),
-            regret_stages: Vec::new(),
-            regret_len: Vec::new(),
         }
     }
 
@@ -270,9 +259,7 @@ impl PeerStore {
         self.satisfied_epochs.push(0);
         self.last_helper.push(NO_HELPER);
         self.switches.push(0);
-        self.regret_sums.extend(std::iter::repeat_n(0.0, self.regret_stride));
-        self.regret_stages.push(0);
-        self.regret_len.push(0);
+        self.regret.add_peer();
         id
     }
 
@@ -294,7 +281,6 @@ impl PeerStore {
         assert!((slots[slots.len() - 1] as usize) < n, "slot out of range");
         assert!(slots.windows(2).all(|w| w[0] != w[1]), "duplicate slot");
 
-        let stride = self.regret_stride;
         let mut next = 0usize;
         let mut write = 0usize;
         for read in 0..n {
@@ -314,10 +300,6 @@ impl PeerStore {
                 self.satisfied_epochs.swap(write, read);
                 self.last_helper.swap(write, read);
                 self.switches.swap(write, read);
-                self.regret_stages.swap(write, read);
-                self.regret_len.swap(write, read);
-                self.regret_sums
-                    .copy_within(read * stride..(read + 1) * stride, write * stride);
             }
             write += 1;
         }
@@ -332,9 +314,10 @@ impl PeerStore {
         self.satisfied_epochs.truncate(write);
         self.last_helper.truncate(write);
         self.switches.truncate(write);
-        self.regret_stages.truncate(write);
-        self.regret_len.truncate(write);
-        self.regret_sums.truncate(write * stride);
+        // The ledger compacts its own columns (open stretches fold into
+        // nothing for departed peers and stay valid for survivors — the
+        // ledger's global prefix/ring state is slot-independent).
+        self.regret.remove_slots(slots);
     }
 
     /// Moves peer `slot` to `channel`, restarting its learner on the new
@@ -346,17 +329,27 @@ impl PeerStore {
     /// semantics.
     pub fn set_channel(&mut self, slot: usize, channel: usize) {
         let new_m = self.actions[channel] as usize;
+        // Fold the open stretch against the *old* channel's join-rate
+        // prefix before the move — the stretch was accumulated there.
+        self.regret.migrate(slot, self.channels[slot] as usize);
         self.channels[slot] = channel as u32;
         self.learners[slot].reset_actions(new_m);
         self.last_helper[slot] = NO_HELPER;
     }
 
-    /// The shard count a phase over `len` items uses right now.
+    /// The shard count a phase over `len` items uses right now. Besides
+    /// the small-input inline cutoff, workers are capped so each shard
+    /// keeps at least [`rths_par::MIN_ITEMS_PER_WORKER`] peers — below
+    /// that, spawn overhead exceeds the per-peer phase work and
+    /// `BENCH_sim.json` showed multi-thread runs *slower* than
+    /// sequential for every population ≤ 4×10³. Results are bit-identical
+    /// at any shard count, so the cap is pure scheduling.
     fn shards_for(&self, len: usize) -> usize {
         match self.shard_override {
             Some(n) => n.min(len).max(1),
-            None if len < rths_par::MIN_PARALLEL_ITEMS => 1,
-            None => rths_par::threads().min(len).max(1),
+            // Populations below MIN_ITEMS_PER_WORKER (which subsumes the
+            // old MIN_PARALLEL_ITEMS cutoff) collapse to one shard.
+            None => rths_par::threads().min(len / rths_par::MIN_ITEMS_PER_WORKER).max(1),
         }
     }
 
@@ -432,13 +425,13 @@ impl PeerStore {
     /// The **observe** phase: every peer's realized rate is computed by
     /// `rate_of(index, profile[index], channel) -> (rate, satisfied)`,
     /// fed to its learner (bandit feedback), accumulated into the
-    /// accounting columns and the flat true-regret row (against the
-    /// channel's counterfactual join rates in
-    /// `join_rates[join_offsets[c]..join_offsets[c + 1]]`), and written
-    /// to `delivered[index]`. Returns the epoch's
-    /// `(worst_regret_estimate, worst_empirical_regret)`, folded
-    /// per-shard and merged in shard order (max over non-negative values
-    /// — order-insensitive, so bit-identical at any shard count).
+    /// accounting columns and the stretch-folded true-regret ledger
+    /// (against the channel's counterfactual join rates in
+    /// `join_rates[join_offsets[c]..join_offsets[c + 1]]` — see
+    /// [`crate::regret`]), and written to `delivered[index]`. Returns
+    /// the epoch's `(worst_regret_estimate, worst_empirical_regret)`,
+    /// folded per-shard and merged in shard order (max over non-negative
+    /// values — order-insensitive, so bit-identical at any shard count).
     ///
     /// `track_estimate` controls the first element: deriving a learner's
     /// internal regret estimate is an `O(m²)` scan of its proxy matrix
@@ -460,34 +453,34 @@ impl PeerStore {
         assert_eq!(delivered.len(), n, "delivered column must be index-aligned");
         let shards = self.shards_for(n);
         Self::prepare_scratch(scratch, shards, 0);
-        let stride = self.regret_stride;
         let PeerStore {
             learners,
             total_rate,
             epochs_online,
             epochs_served,
             satisfied_epochs,
-            regret_sums,
-            regret_stages,
-            regret_len,
+            regret,
             channels,
             configs,
             ..
         } = self;
         let channels = &*channels;
         let configs = &*configs;
+        // One global prefix update for the whole population, then the
+        // per-peer record is O(1) amortized (an O(m) row write only when
+        // a stretch closes — arm switch or window fold).
+        regret.advance_epoch(join_offsets, join_rates);
+        let (ledger_cols, ledger_ctx) = regret.split();
         par_sharded(
             n,
             shards,
             (
                 (&mut learners[..], &mut total_rate[..], &mut epochs_online[..]),
-                (&mut epochs_served[..], &mut satisfied_epochs[..], &mut regret_stages[..]),
-                (&mut regret_len[..], Strided::new(stride, &mut regret_sums[..]), delivered),
+                (&mut epochs_served[..], &mut satisfied_epochs[..], delivered),
+                ledger_cols,
             ),
             &mut scratch[..],
-            |shard,
-             ((learners, total, online), (served, sat, stages), (rlen, mut rows, out)),
-             s| {
+            |shard, ((learners, total, online), (served, sat, out), mut ledger), s| {
                 for i in 0..shard.len() {
                     let abs = shard.start + i;
                     let channel = channels[abs];
@@ -503,35 +496,22 @@ impl PeerStore {
                     if satisfied {
                         sat[i] += 1;
                     }
-                    // True-regret increments against the channel's
-                    // counterfactual join rates. The row resets lazily
-                    // here when the peer's action-set arity changed
-                    // since it was last recorded (channel migration) —
-                    // the historical semantics.
-                    let c = channel as usize;
-                    let jr = &join_rates[join_offsets[c]..join_offsets[c + 1]];
-                    let m = jr.len();
-                    let played = profile[abs] as usize;
-                    let row = rows.row(i);
-                    if rlen[i] != m as u32 {
-                        if rlen[i] != 0 {
-                            row.fill(0.0);
-                            stages[i] = 0;
-                        }
-                        rlen[i] = m as u32;
-                    }
-                    for (k, &join) in jr.iter().enumerate() {
-                        if k != played {
-                            row[played * m + k] += join - rate;
-                        }
-                    }
-                    stages[i] += 1;
+                    // Stretch-folded true regret against the channel's
+                    // counterfactual join rates (lazy arity reset on
+                    // channel migration — the historical semantics).
+                    let worst = regret::record(
+                        &mut ledger,
+                        &ledger_ctx,
+                        i,
+                        channel as usize,
+                        profile[abs] as usize,
+                        rate,
+                    );
                     // Shard-affine metric folds (non-negative maxima).
                     if track_estimate {
                         s.worst_estimate = s.worst_estimate.max(learners[i].max_regret(config));
                     }
-                    let max_sum = row.iter().copied().fold(0.0f64, f64::max);
-                    s.worst_empirical = s.worst_empirical.max(max_sum / stages[i] as f64);
+                    s.worst_empirical = s.worst_empirical.max(worst);
                     out[i] = rate;
                 }
             },
@@ -605,12 +585,13 @@ impl PeerStore {
 
     /// Time-averaged worst true regret of the peer in `slot`.
     pub fn empirical_regret(&self, slot: usize) -> f64 {
-        if self.regret_stages[slot] == 0 {
-            return 0.0;
-        }
-        let stride = self.regret_stride;
-        let row = &self.regret_sums[slot * stride..(slot + 1) * stride];
-        row.iter().copied().fold(0.0f64, f64::max) / self.regret_stages[slot] as f64
+        self.regret.peer_max(slot, self.channels[slot] as usize)
+    }
+
+    /// Recorded regret epochs of the peer in `slot` (the time-average
+    /// divisor; resets when the action-set arity changes).
+    pub fn regret_stages(&self, slot: usize) -> u64 {
+        self.regret.stages(slot)
     }
 
     /// The learner of the peer in `slot`.
@@ -686,7 +667,11 @@ mod tests {
         let mut profile = vec![0u32; 1];
         let mut aux = vec![0u32; 1];
         let (mut loads, mut scratch, mut delivered) = (Vec::new(), Vec::new(), vec![0.0; 1]);
-        let mut step = |s: &mut PeerStore, join: &[f64], offs: &[usize]| {
+        // Full per-channel join layout every epoch (channels [2, 2, 4]
+        // → offsets [0, 2, 4, 8]), as the engines emit it; channels
+        // without viewers carry zero join rates.
+        let offs = [0usize, 2, 4, 8];
+        let mut step = |s: &mut PeerStore, join: &[f64]| {
             s.choose_phase(
                 &mut profile,
                 &mut aux,
@@ -698,14 +683,14 @@ mod tests {
             s.observe_phase(
                 &profile,
                 &mut delivered,
-                offs,
+                &offs,
                 join,
                 &mut scratch,
                 true,
                 |_, _, _| (10.0, true),
             );
         };
-        step(&mut s, &[900.0, 50.0], &[0, 2, 2, 2]);
+        step(&mut s, &[900.0, 50.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
         let recorded = s.empirical_regret(0);
         assert!(recorded > 0.0, "no regret recorded");
         // Round-trip through a same-arity channel: learner restarts, but
@@ -715,16 +700,16 @@ mod tests {
         assert_eq!(s.channel(0), 1);
         assert_eq!(s.learner(0).probabilities(), &[0.5; 2]);
         assert_eq!(s.empirical_regret(0), recorded, "same-arity migration lost history");
-        step(&mut s, &[900.0, 50.0], &[0, 0, 2, 2]);
+        step(&mut s, &[0.0, 0.0, 900.0, 50.0, 0.0, 0.0, 0.0, 0.0]);
         assert!(s.empirical_regret(0) > 0.0);
         // Different arity: the row resets at the *next record*, not at
         // migration time.
         s.set_channel(0, 2);
         assert_eq!(s.learner(0).probabilities(), &[0.25; 4]);
         assert!(s.empirical_regret(0) > 0.0, "reset should be lazy");
-        step(&mut s, &[900.0, 500.0, 100.0, 50.0], &[0, 0, 0, 4]);
+        step(&mut s, &[0.0, 0.0, 0.0, 0.0, 900.0, 500.0, 100.0, 50.0]);
         // One fresh stage on the new 4-action row.
-        assert_eq!(s.regret_stages[0], 1, "arity change must restart the stage clock");
+        assert_eq!(s.regret_stages(0), 1, "arity change must restart the stage clock");
     }
 
     #[test]

@@ -79,6 +79,14 @@ fn assert_outcome_matches_sim(
         bits(net_out.metrics.worst_empirical_regret.values()),
         "{tag}: empirical regret series diverged"
     );
+    // The estimate series is learner-derived on both sides (the peers
+    // attach their virtual-play Q maxima to observations; the simulator
+    // scans the same compact state) — it must agree bit-for-bit too.
+    assert_eq!(
+        bits(sim_out.metrics.worst_regret_estimate.values()),
+        bits(net_out.metrics.worst_regret_estimate.values()),
+        "{tag}: regret estimate series diverged"
+    );
     // Final per-peer summaries.
     assert_eq!(
         bits(&sim_out.metrics.mean_peer_rates),
