@@ -1,0 +1,87 @@
+//! Runs one scenario from the zoo (or any `ScenarioSpec` TOML) and
+//! writes its welfare and regret series as CSVs.
+//!
+//! Usage: `cargo run --release -p rths_bench --bin run_scenario -- <spec.toml>...`
+//!
+//! * `RTHS_SCENARIO_MAX_EPOCHS` — optional epoch cap; phases are
+//!   truncated cumulatively (CI smoke runs set a small budget here).
+//! * `RTHS_RESULTS_DIR` — where `<name>_welfare.csv` and
+//!   `<name>_regret.csv` land (default `results/`).
+
+use rths_bench::{print_series, sample_points, write_csv};
+use rths_sim::ScenarioSpec;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: run_scenario <spec.toml>...");
+        std::process::exit(2);
+    }
+    let cap = std::env::var("RTHS_SCENARIO_MAX_EPOCHS").ok().map(|v| {
+        v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("RTHS_SCENARIO_MAX_EPOCHS must be a positive integer, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+
+    for path in &paths {
+        let mut spec = match ScenarioSpec::load(path) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(cap) = cap {
+            spec = spec.with_epoch_cap(cap);
+        }
+        println!(
+            "scenario `{}` — {} epochs, seed {}\n  {}",
+            spec.name(),
+            spec.total_epochs(),
+            spec.seed(),
+            spec.description(),
+        );
+
+        let report = spec.run();
+
+        let welfare_rows: Vec<Vec<f64>> = report
+            .welfare
+            .iter()
+            .zip(&report.server_load)
+            .enumerate()
+            .map(|(i, (&w, &s))| vec![i as f64, w, s])
+            .collect();
+        let welfare_csv = write_csv(
+            &format!("{}_welfare", report.name),
+            &["epoch", "welfare_kbps", "server_load_kbps"],
+            &welfare_rows,
+        );
+
+        // Multi-channel runs don't track the internal estimator; pad the
+        // column with NaN so the CSV shape is uniform across the zoo.
+        let regret_rows: Vec<Vec<f64>> = report
+            .worst_empirical_regret
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| {
+                let est = report.worst_regret_estimate.get(i).copied().unwrap_or(f64::NAN);
+                vec![i as f64, e, est]
+            })
+            .collect();
+        let regret_csv = write_csv(
+            &format!("{}_regret", report.name),
+            &["epoch", "empirical_regret", "estimate"],
+            &regret_rows,
+        );
+
+        print_series("welfare (kbps)", ("epoch", "kbps"), &sample_points(&report.welfare, 16));
+        println!(
+            "  final population {}, tail welfare {:.1} kbps",
+            report.final_population,
+            report.welfare.iter().rev().take(20).sum::<f64>()
+                / report.welfare.len().clamp(1, 20) as f64,
+        );
+        println!("  csv: {} | {}\n", welfare_csv.display(), regret_csv.display());
+    }
+}

@@ -15,7 +15,14 @@
 //!
 //! Decisions are pure functions of `(seed, peer, epoch)` so faulty runs
 //! are as reproducible as clean ones.
+//!
+//! `FaultPlan` is now the **thin compatibility constructor** over the
+//! richer [`rths_sim::ImpairmentPlan`]: the runtimes consume
+//! `ImpairmentPlan` ([`crate::NetConfig::with_impairments`]) and every
+//! `FaultPlan` converts losslessly via `From` — same hash streams, so a
+//! migrated run reproduces the legacy one bit-for-bit.
 
+use rths_sim::ImpairmentPlan;
 use rths_stoch::rng::derive_seed;
 
 /// Deterministic fault plan.
@@ -95,6 +102,26 @@ impl Default for FaultPlan {
     }
 }
 
+/// Lossless upgrade to the unified impairment layer: uniform loss and
+/// jitter map onto the `ImpairmentPlan` streams that replicate the
+/// legacy hash formulas exactly (asserted by
+/// `rths_sim::impairment`'s compatibility tests), so
+/// `with_faults(f)` and `with_impairments(f.into())` run identically.
+impl From<FaultPlan> for ImpairmentPlan {
+    fn from(faults: FaultPlan) -> Self {
+        let mut builder = ImpairmentPlan::builder(faults.seed);
+        if faults.loss > 0.0 {
+            builder = builder.uniform_loss(faults.loss);
+        }
+        let plan = builder.build().expect("FaultPlan loss is a validated probability");
+        if faults.jitter_us > 0 {
+            plan.with_jitter(faults.jitter_us)
+        } else {
+            plan
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +179,26 @@ mod tests {
     fn jitter_noop_when_disabled() {
         // Just exercises the no-op path.
         FaultPlan::none().apply_jitter(1, 1);
+    }
+
+    #[test]
+    fn conversion_preserves_every_decision() {
+        let faults = FaultPlan::with_loss(0.35, 99).with_jitter(250);
+        let plan: ImpairmentPlan = faults.into();
+        assert!(!plan.affects_rates() || plan.jitter_us() == 250);
+        for peer in 0..200u64 {
+            for epoch in [0u64, 1, 13, 999] {
+                // Uniform loss ignores the helper index.
+                assert_eq!(plan.is_lost(peer, 0, epoch), faults.is_lost(peer, epoch));
+                assert_eq!(plan.jitter_ticks(peer, epoch), faults.jitter_ticks(peer, epoch));
+            }
+        }
+    }
+
+    #[test]
+    fn none_converts_to_inert_plan() {
+        let plan: ImpairmentPlan = FaultPlan::none().into();
+        assert!(plan.is_none());
+        assert!(!plan.affects_rates());
     }
 }

@@ -25,16 +25,22 @@
 //!   a few hundred actors;
 //! * [`Backend::Reactor`] ([`reactor_backend::ReactorRuntime`]) — every
 //!   actor as a poll-driven state machine on an `rths_reactor` event
-//!   loop: thousands of actors per thread, `FaultPlan` jitter mapped to
+//!   loop: thousands of actors per thread, impairment jitter mapped to
 //!   timer-wheel delays.
 //!
 //! Because the epoch protocol is a barrier and every actor owns a
 //! deterministic RNG stream, a fault-free run reproduces
 //! `rths_sim::System` **bit-for-bit on both backends** (asserted by the
 //! `sim_net_equivalence` integration test at several `RTHS_THREADS`
-//! settings), while the [`fault`] module can additionally drop data-plane
-//! deliveries and inject timing jitter to exercise the asynchronous
-//! paths.
+//! settings). Link impairments come from `rths_sim`'s shared
+//! `ImpairmentPlan` (Gilbert-Elliott bursty loss, token-bucket policing,
+//! Markov link bandwidth/latency, timing jitter), attached via
+//! [`NetConfig::with_impairments`] or inherited from the sim config;
+//! every impairment decision is a pure function of `(plan seed, link,
+//! epoch)`, so impaired runs stay bit-identical across backends too. The
+//! legacy [`fault`] module's [`FaultPlan`] (drops + jitter only) remains
+//! as a thin converting constructor behind the deprecated
+//! `with_faults`.
 //!
 //! # Example
 //!
@@ -62,6 +68,9 @@ pub mod tracker;
 
 pub use fault::FaultPlan;
 pub use message::{CoordMsg, HelperMsg, PeerMsg};
+// Re-exported so `with_impairments` callers don't need an `rths_sim`
+// dependency just for the plan type.
 pub use reactor_backend::{NetActor, NetMsg, ReactorRuntime};
+pub use rths_sim::ImpairmentPlan;
 pub use runtime::{run, Backend, MessageTotals, NetConfig, NetOutcome, NetRuntime};
 pub use tracker::Tracker;

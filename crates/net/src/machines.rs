@@ -14,10 +14,8 @@ use rths_sim::helper::{Helper, HelperId};
 use rths_sim::peer::{Peer, PeerId};
 use rths_sim::regret::RegretLedger;
 use rths_sim::server::StreamingServer;
-use rths_sim::{SimConfig, SimMetrics};
+use rths_sim::{ImpairmentPlan, LinkShaper, SimConfig, SimMetrics};
 use rths_stoch::rng::entity_rng;
-
-use crate::fault::FaultPlan;
 
 /// Instantiates the helper set exactly as `rths_sim::System::new` does:
 /// processes drawn from the master RNG in helper-index order. Returns the
@@ -61,19 +59,36 @@ pub struct Selection {
     pub lost: bool,
 }
 
-/// The peer-side state machine: owns the learner, its RNG stream, and the
-/// demand cap. Feedback is strictly local — a rate per epoch.
+/// The peer-side state machine: owns the learner, its RNG stream, the
+/// demand cap, and the edge end of the impairment layer (its link
+/// shaper). Feedback is strictly local — a rate per epoch.
 #[derive(Debug)]
 pub struct PeerMachine {
     peer: Peer,
     demand: Option<f64>,
-    faults: FaultPlan,
+    impairments: ImpairmentPlan,
+    shaper: LinkShaper,
+    /// The `(helper, epoch)` of the in-flight request, consumed by the
+    /// rate delivery — shaping decisions are per-link, so the peer must
+    /// remember which link the reply rides.
+    inflight: Option<(usize, u64)>,
 }
 
 impl PeerMachine {
-    /// Wraps a live peer.
-    pub fn new(peer: Peer, demand: Option<f64>, faults: FaultPlan) -> Self {
-        Self { peer, demand, faults }
+    /// Wraps a live peer. `impairments` accepts an [`ImpairmentPlan`] or
+    /// a legacy [`crate::FaultPlan`] (converted losslessly).
+    pub fn new(
+        peer: Peer,
+        demand: Option<f64>,
+        impairments: impl Into<ImpairmentPlan>,
+    ) -> Self {
+        Self {
+            peer,
+            demand,
+            impairments: impairments.into(),
+            shaper: LinkShaper::new(),
+            inflight: None,
+        }
     }
 
     /// Builds the peer for `id` from the simulation config.
@@ -81,9 +96,9 @@ impl PeerMachine {
         sim: &SimConfig,
         id: u64,
         num_helpers: usize,
-        faults: FaultPlan,
+        impairments: impl Into<ImpairmentPlan>,
     ) -> Self {
-        Self::new(instantiate_peer(sim, id, num_helpers), sim.demand, faults)
+        Self::new(instantiate_peer(sim, id, num_helpers), sim.demand, impairments)
     }
 
     /// Stable peer id.
@@ -91,17 +106,33 @@ impl PeerMachine {
         self.peer.id().0
     }
 
+    /// The impairment plan driving this peer's loss/shaping/jitter.
+    pub fn impairments(&self) -> &ImpairmentPlan {
+        &self.impairments
+    }
+
     /// Epoch start: samples the learner and decides whether this epoch's
-    /// payload is lost (deterministic per `(peer, epoch)`).
+    /// payload is lost (deterministic per `(peer, helper, epoch)` link).
     pub fn on_tick(&mut self, epoch: u64) -> Selection {
         let helper = self.peer.choose_helper();
-        let lost = self.faults.is_lost(self.peer.id().0, epoch);
+        let lost = self.impairments.is_lost(self.peer.id().0, helper, epoch);
+        self.inflight = Some((helper, epoch));
         Selection { helper, lost }
     }
 
-    /// Delivers the raw rate from the helper; applies the demand cap,
-    /// feeds the learner, and returns the realized (observed) rate.
+    /// Delivers the raw rate from the helper; shapes it through the
+    /// link's impairments (bandwidth cap, token bucket), applies the
+    /// demand cap, feeds the learner, and returns the realized
+    /// (observed) rate — the exact pipeline order of
+    /// `rths_sim::System::step_epoch`, which is what keeps impaired runs
+    /// bit-identical across backends.
     pub fn on_rate(&mut self, kbps: f64) -> f64 {
+        let kbps = match self.inflight.take() {
+            Some((helper, epoch)) if self.impairments.affects_rates() => {
+                self.shaper.shape(&self.impairments, self.peer.id().0, helper, epoch, kbps)
+            }
+            _ => kbps,
+        };
         let (rate, satisfied) = match self.demand {
             Some(d) => {
                 let r = kbps.min(d);
@@ -416,6 +447,7 @@ impl CoordinatorMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use rths_sim::{BandwidthSpec, Scenario, SimConfig};
 
     fn small_sim() -> SimConfig {
@@ -455,6 +487,27 @@ mod tests {
         let sim = small_sim();
         let mut m = PeerMachine::from_config(&sim, 1, 2, FaultPlan::with_loss(1.0, 9));
         assert!(m.on_tick(0).lost);
+    }
+
+    #[test]
+    fn peer_machine_shapes_rates_like_a_link_shaper() {
+        // The machine's pipeline must equal a bare LinkShaper fed the
+        // same (link, epoch, offered) sequence — that is the contract
+        // the sim↔net equivalence rests on.
+        let plan = ImpairmentPlan::builder(7)
+            .token_bucket(300.0, 500.0)
+            .link_bandwidth(vec![200.0, 400.0, 800.0], 0.9)
+            .build()
+            .unwrap();
+        let sim = small_sim();
+        let mut m = PeerMachine::from_config(&sim, 0, 2, plan.clone());
+        let mut reference = LinkShaper::new();
+        for epoch in 0..40 {
+            let sel = m.on_tick(epoch);
+            let offered = 700.0 + epoch as f64;
+            let expected = reference.shape(&plan, 0, sel.helper, epoch, offered);
+            assert_eq!(m.on_rate(offered).to_bits(), expected.to_bits(), "epoch {epoch}");
+        }
     }
 
     #[test]

@@ -14,9 +14,10 @@
 //! * peers learn the helper address range from the tracker during a
 //!   bootstrap handshake — the same directory-not-controller role the
 //!   threaded [`crate::tracker::Tracker`] plays;
-//! * [`FaultPlan`] drops ride the `lost` request flag exactly as in the
-//!   threaded backend, and jitter becomes *timer-wheel delivery delays*
-//!   (same per-`(actor, epoch)` draw) instead of thread sleeps.
+//! * [`ImpairmentPlan`] drops ride the `lost` request flag exactly as in
+//!   the threaded backend, rate shaping happens inside the shared
+//!   [`PeerMachine`], and jitter/latency become *timer-wheel delivery
+//!   delays* (same per-`(actor, epoch)` draw) instead of thread sleeps.
 //!
 //! With equal seeds the backend reproduces the simulator and the threaded
 //! runtime bit-for-bit at any `RTHS_THREADS`; the workspace-level
@@ -24,8 +25,8 @@
 
 use rths_reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats};
 use rths_sim::peer::Peer;
+use rths_sim::ImpairmentPlan;
 
-use crate::fault::FaultPlan;
 use crate::machines::{instantiate_helpers, CoordinatorMachine, HelperMachine, PeerMachine};
 use crate::runtime::{MessageTotals, NetConfig, NetOutcome};
 
@@ -131,7 +132,7 @@ pub struct CoordNode {
     num_helpers: usize,
     peer_base: usize,
     num_peers: usize,
-    faults: FaultPlan,
+    impairments: ImpairmentPlan,
     control: u64,
 }
 
@@ -141,12 +142,12 @@ impl CoordNode {
         let epoch = self.machine.epoch();
         for j in 0..self.num_helpers {
             self.control += 1;
-            let delay = self.faults.jitter_ticks(HELPER_JITTER_BASE + j as u64, epoch);
+            let delay = self.impairments.jitter_ticks(HELPER_JITTER_BASE + j as u64, epoch);
             ctx.send_after(delay, ActorId(self.helper_base + j), NetMsg::Tick { epoch });
         }
         for i in 0..self.num_peers {
             self.control += 1;
-            let delay = self.faults.jitter_ticks(i as u64, epoch);
+            let delay = self.impairments.jitter_ticks(i as u64, epoch);
             ctx.send_after(delay, ActorId(self.peer_base + i), NetMsg::Tick { epoch });
         }
     }
@@ -395,7 +396,7 @@ impl ReactorRuntime {
     /// order as the simulator and the threaded backend).
     pub fn new(config: NetConfig) -> Self {
         let sim = &config.sim;
-        let faults = config.faults;
+        let impairments = &config.impairments;
         let h = sim.helpers.len();
         let n = sim.num_peers;
         let helper_base = 2;
@@ -412,7 +413,7 @@ impl ReactorRuntime {
             num_helpers: h,
             peer_base,
             num_peers: n,
-            faults,
+            impairments: impairments.clone(),
             control: 0,
         })));
         reactor.add_actor(NetActor::Tracker(TrackerNode {
@@ -436,7 +437,7 @@ impl ReactorRuntime {
         }
         for id in 0..n as u64 {
             reactor.add_actor(NetActor::Peer(PeerNode {
-                machine: PeerMachine::from_config(sim, id, h, faults),
+                machine: PeerMachine::from_config(sim, id, h, impairments.clone()),
                 coordinator,
                 helper_base: None,
                 track_estimate: config.track_estimate,

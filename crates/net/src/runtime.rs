@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use rths_sim::peer::Peer;
+use rths_sim::ImpairmentPlan;
 use rths_sim::SimConfig;
 use rths_sim::SimMetrics;
 
@@ -54,8 +55,10 @@ pub struct NetConfig {
     /// The underlying system configuration (must be churn-free: actor
     /// population is fixed at startup).
     pub sim: SimConfig,
-    /// Fault plan (loss / jitter).
-    pub faults: FaultPlan,
+    /// Link-impairment plan (loss, shaping, jitter/latency) — shared
+    /// with the simulator, so impaired runs stay bit-identical across
+    /// all three engines.
+    pub impairments: ImpairmentPlan,
     /// Hosting runtime.
     pub backend: Backend,
     /// Whether peers attach their learner's internal regret estimate to
@@ -67,8 +70,9 @@ pub struct NetConfig {
 }
 
 impl NetConfig {
-    /// Wraps a simulator configuration with no faults on the default
-    /// (threaded) backend.
+    /// Wraps a simulator configuration on the default (threaded)
+    /// backend, inheriting the config's own [`SimConfig::impairment`]
+    /// plan (none by default).
     ///
     /// # Panics
     ///
@@ -80,19 +84,25 @@ impl NetConfig {
             sim.churn.arrival_rate() == 0.0 && sim.churn.departure_prob() == 0.0,
             "the decentralized runtimes require a churn-free configuration"
         );
-        Self {
-            sim,
-            faults: FaultPlan::none(),
-            backend: Backend::default(),
-            track_estimate: true,
-        }
+        let impairments = sim.impairment.clone();
+        Self { sim, impairments, backend: Backend::default(), track_estimate: true }
     }
 
-    /// Adds a fault plan.
+    /// Sets the link-impairment plan (loss models, token-bucket shaping,
+    /// link bandwidth caps, jitter/latency).
     #[must_use]
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+    pub fn with_impairments(mut self, impairments: ImpairmentPlan) -> Self {
+        self.impairments = impairments;
         self
+    }
+
+    /// Adds a legacy fault plan. Converting shim: `with_faults(f)` is
+    /// exactly `with_impairments(f.into())` — same hash streams, same
+    /// results bit-for-bit.
+    #[deprecated(since = "0.6.0", note = "use with_impairments(ImpairmentPlan) instead")]
+    #[must_use]
+    pub fn with_faults(self, faults: FaultPlan) -> Self {
+        self.with_impairments(faults.into())
     }
 
     /// Enables/disables per-peer internal regret estimates (see
@@ -214,7 +224,7 @@ impl NetRuntime {
         let (coord_tx, coord_rx) = unbounded::<CoordMsg>();
         let mut tracker = Tracker::new();
         let mut helper_handles = Vec::new();
-        let faults = config.faults;
+        let impairments = &config.impairments;
         let counters = Arc::new(MessageCounters::default());
 
         // Helper actors. Processes are instantiated from the master RNG in
@@ -226,24 +236,27 @@ impl NetRuntime {
             tracker.register_helper(tx);
             let coord = coord_tx.clone();
             let counters_h = Arc::clone(&counters);
+            let plan = impairments.clone();
             helper_handles.push(std::thread::spawn(move || {
-                helper_actor(machine, j, rx, coord, faults, counters_h);
+                helper_actor(machine, j, rx, coord, plan, counters_h);
             }));
         }
 
-        // Peer actors.
+        // Peer actors (each owns its plan clone — the shaper state inside
+        // the machine is per-peer anyway).
         let mut peer_endpoints = Vec::new();
         let mut peer_handles = Vec::new();
         let track_estimate = config.track_estimate;
         for id in 0..sim.num_peers as u64 {
-            let machine = PeerMachine::from_config(sim, id, tracker.num_helpers(), faults);
+            let machine =
+                PeerMachine::from_config(sim, id, tracker.num_helpers(), impairments.clone());
             let (tx, rx) = unbounded::<PeerMsg>();
             peer_endpoints.push(tx.clone());
             let helpers = tracker.bootstrap();
             let coord = coord_tx.clone();
             let counters_p = Arc::clone(&counters);
             peer_handles.push(std::thread::spawn(move || {
-                peer_actor(machine, tx, rx, helpers, coord, faults, counters_p, track_estimate)
+                peer_actor(machine, tx, rx, helpers, coord, counters_p, track_estimate)
             }));
         }
 
@@ -360,13 +373,13 @@ fn helper_actor(
     index: usize,
     inbox: Receiver<HelperMsg>,
     coord: Sender<CoordMsg>,
-    faults: FaultPlan,
+    impairments: ImpairmentPlan,
     counters: Arc<MessageCounters>,
 ) {
     while let Ok(msg) = inbox.recv() {
         match msg {
             HelperMsg::Tick { epoch } => {
-                faults.apply_jitter(0x4000_0000 + index as u64, epoch);
+                impairments.apply_jitter(0x4000_0000 + index as u64, epoch);
                 machine.on_tick();
             }
             HelperMsg::Request { peer, epoch: _, reply, lost } => {
@@ -404,7 +417,6 @@ fn peer_actor(
     inbox: Receiver<PeerMsg>,
     helpers: Vec<Sender<HelperMsg>>,
     coord: Sender<CoordMsg>,
-    faults: FaultPlan,
     counters: Arc<MessageCounters>,
     track_estimate: bool,
 ) -> Peer {
@@ -412,7 +424,7 @@ fn peer_actor(
     while let Ok(msg) = inbox.recv() {
         match msg {
             PeerMsg::Tick { epoch } => {
-                faults.apply_jitter(id, epoch);
+                machine.impairments().apply_jitter(id, epoch);
                 let selection = machine.on_tick(epoch);
                 counters.control();
                 helpers[selection.helper]
@@ -472,7 +484,8 @@ mod tests {
         let sim = rths_sim::SimConfig::builder(4, vec![BandwidthSpec::Constant(800.0); 2])
             .seed(3)
             .build();
-        let config = NetConfig::from_sim(sim).with_faults(FaultPlan::with_loss(1.0, 9));
+        let plan = ImpairmentPlan::builder(9).uniform_loss(1.0).build().unwrap();
+        let config = NetConfig::from_sim(sim).with_impairments(plan);
         let out = NetRuntime::new(config).run(10);
         for &w in out.metrics.welfare.values() {
             assert_eq!(w, 0.0);
@@ -485,7 +498,8 @@ mod tests {
             let sim = rths_sim::SimConfig::builder(8, vec![BandwidthSpec::Constant(800.0); 2])
                 .seed(4)
                 .build();
-            let config = NetConfig::from_sim(sim).with_faults(FaultPlan::with_loss(loss, 5));
+            let plan = ImpairmentPlan::builder(5).uniform_loss(loss).build().unwrap();
+            let config = NetConfig::from_sim(sim).with_impairments(plan);
             NetRuntime::new(config).run(300)
         };
         let clean = build(0.0);
@@ -496,6 +510,42 @@ mod tests {
             w_lossy < w_clean * 0.85,
             "loss had no effect: clean {w_clean}, lossy {w_lossy}"
         );
+    }
+
+    #[test]
+    fn deprecated_with_faults_shim_matches_with_impairments() {
+        let build = || {
+            rths_sim::SimConfig::builder(6, vec![BandwidthSpec::Constant(800.0); 2])
+                .seed(8)
+                .build()
+        };
+        #[allow(deprecated)]
+        let legacy = NetRuntime::new(
+            NetConfig::from_sim(build()).with_faults(FaultPlan::with_loss(0.4, 17)),
+        )
+        .run(60);
+        let plan = ImpairmentPlan::builder(17).uniform_loss(0.4).build().unwrap();
+        let migrated =
+            NetRuntime::new(NetConfig::from_sim(build()).with_impairments(plan)).run(60);
+        assert_eq!(
+            legacy.metrics.welfare.values(),
+            migrated.metrics.welfare.values(),
+            "the shim must reproduce the legacy run bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn from_sim_inherits_the_sim_impairment_plan() {
+        let plan = ImpairmentPlan::builder(3).uniform_loss(1.0).build().unwrap();
+        let sim = rths_sim::SimConfig::builder(4, vec![BandwidthSpec::Constant(800.0); 2])
+            .seed(2)
+            .impairment(plan)
+            .build();
+        let out = NetRuntime::new(NetConfig::from_sim(sim)).run(5);
+        // The inherited full-loss plan starves every epoch.
+        for &w in out.metrics.welfare.values() {
+            assert_eq!(w, 0.0);
+        }
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! level (a lost reply is bit-identical to `observe(0.0)`), at the system
 //! level (lossy reactor runs reproduce lossy threaded runs bit-for-bit),
 //! and at the boundary (full loss starves everyone on both backends).
+//!
+//! The suite deliberately keeps driving the legacy `FaultPlan`
+//! constructors through the deprecated `with_faults` shim: it doubles as
+//! the regression net for the FaultPlan → ImpairmentPlan migration.
+#![allow(deprecated)]
 
 use rths_core::Learner;
 use rths_net::machines::{HelperMachine, PeerMachine};
@@ -113,9 +118,9 @@ fn loss_and_jitter_compose_on_the_reactor() {
     // loss.
     let plain = rths_net::run(lossy_config(5, 0.3).with_backend(Backend::Reactor), 80);
     let config = lossy_config(5, 0.3);
-    let jittery_faults = config.faults.with_jitter(150);
+    let jittery_plan = config.impairments.with_jitter(150);
     let jittery = rths_net::run(
-        lossy_config(5, 0.3).with_backend(Backend::Reactor).with_faults(jittery_faults),
+        lossy_config(5, 0.3).with_backend(Backend::Reactor).with_impairments(jittery_plan),
         80,
     );
     assert_eq!(

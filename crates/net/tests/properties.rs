@@ -1,8 +1,8 @@
 //! Property-based tests for the decentralized runtime.
 
 use proptest::prelude::*;
-use rths_net::{FaultPlan, NetConfig, NetRuntime};
-use rths_sim::{BandwidthSpec, SimConfig};
+use rths_net::{NetConfig, NetRuntime};
+use rths_sim::{BandwidthSpec, ImpairmentPlan, SimConfig};
 
 fn config(n: usize, h: usize, seed: u64, demand: Option<f64>) -> SimConfig {
     let mut b = SimConfig::builder(n, vec![BandwidthSpec::Paper { stay: 0.95 }; h]).seed(seed);
@@ -34,8 +34,12 @@ proptest! {
         loss in 0.0..0.9f64,
     ) {
         let run = || {
+            let plan = ImpairmentPlan::builder(seed ^ 0xABCD)
+                .uniform_loss(loss)
+                .build()
+                .expect("loss is a probability");
             let cfg = NetConfig::from_sim(config(6, 2, seed, Some(300.0)))
-                .with_faults(FaultPlan::with_loss(loss, seed ^ 0xABCD));
+                .with_impairments(plan);
             NetRuntime::new(cfg).run(40)
         };
         let a = run();
@@ -50,8 +54,11 @@ proptest! {
         // comparison is per-seed noisy, so compare time-averaged welfare
         // with a tolerance).
         let run = |loss: f64| {
-            let cfg = NetConfig::from_sim(config(8, 2, seed, None))
-                .with_faults(FaultPlan::with_loss(loss, 7));
+            let plan = ImpairmentPlan::builder(7)
+                .uniform_loss(loss)
+                .build()
+                .expect("loss is a probability");
+            let cfg = NetConfig::from_sim(config(8, 2, seed, None)).with_impairments(plan);
             let out = NetRuntime::new(cfg).run(150);
             out.metrics.welfare.tail_mean(100)
         };

@@ -1,0 +1,130 @@
+//! One-shot generator for the checked-in scenario zoo: builds each spec
+//! with the typed builder and writes its canonical TOML rendering to
+//! `scenarios/`. Re-run after schema changes to refresh the files.
+//!
+//! Run with: `cargo run -p rths_sim --example gen_scenarios`
+
+use rths_sim::{BandwidthSpec, ImpairmentPlan, ScenarioSpec, WorkloadPhase};
+
+fn paper_helpers() -> Vec<(usize, BandwidthSpec)> {
+    vec![(4, BandwidthSpec::Paper { stay: 0.98 })]
+}
+
+fn specs() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::builder("flash_crowd_spike")
+            .description(
+                "A single sharp flash crowd: arrivals surge 8x for 30 epochs, then the \
+                 population drains back through normal churn.",
+            )
+            .seed(2014)
+            .single(12, paper_helpers())
+            .demand(350.0)
+            .churn(0.3, 0.02)
+            .phase(WorkloadPhase::Steady { epochs: 80 })
+            .phase(WorkloadPhase::FlashCrowd { epochs: 60, start: 10, end: 40, surge: 8.0 })
+            .phase(WorkloadPhase::Steady { epochs: 80 })
+            .build()
+            .expect("flash_crowd_spike"),
+        ScenarioSpec::builder("flash_crowd_double")
+            .description(
+                "Two flash crowds in quick succession: the second hits before the first \
+                 wave has churned out, stressing re-adaptation from a crowded state.",
+            )
+            .seed(2718)
+            .single(10, paper_helpers())
+            .demand(350.0)
+            .churn(0.25, 0.03)
+            .phase(WorkloadPhase::Steady { epochs: 50 })
+            .phase(WorkloadPhase::FlashCrowd { epochs: 50, start: 5, end: 25, surge: 6.0 })
+            .phase(WorkloadPhase::FlashCrowd { epochs: 50, start: 10, end: 30, surge: 6.0 })
+            .phase(WorkloadPhase::Steady { epochs: 60 })
+            .build()
+            .expect("flash_crowd_double"),
+        ScenarioSpec::builder("channel_surfing")
+            .description(
+                "Multi-channel Zipf popularity drift: viewers surf every 15 epochs under \
+                 a rotating ranking, with one mass migration mid-run.",
+            )
+            .seed(1337)
+            .multichannel(5, 400.0, 8, 2, 40, 1.1)
+            .phase(WorkloadPhase::Steady { epochs: 60 })
+            .phase(WorkloadPhase::ChannelSurf { epochs: 120, period: 15, moves: 3 })
+            .phase(WorkloadPhase::PopularityShift {
+                epochs: 60,
+                at: 10,
+                from: 0,
+                to: 4,
+                count: 8,
+            })
+            .build()
+            .expect("channel_surfing"),
+        ScenarioSpec::builder("helper_cascade")
+            .description(
+                "Correlated helper-failure cascade: helpers fail one after another, \
+                 then all recover at once; peers must relearn each regime unannounced.",
+            )
+            .seed(4242)
+            .single(
+                14,
+                vec![
+                    (2, BandwidthSpec::Paper { stay: 0.98 }),
+                    (2, BandwidthSpec::Constant(750.0)),
+                ],
+            )
+            .demand(350.0)
+            .phase(WorkloadPhase::Steady { epochs: 60 })
+            .phase(WorkloadPhase::HelperFailure { epochs: 50, helpers: vec![0], online: false })
+            .phase(WorkloadPhase::HelperFailure { epochs: 50, helpers: vec![2], online: false })
+            .phase(WorkloadPhase::HelperFailure {
+                epochs: 80,
+                helpers: vec![0, 2],
+                online: true,
+            })
+            .build()
+            .expect("helper_cascade"),
+        ScenarioSpec::builder("diurnal")
+            .description(
+                "A diurnal audience curve: sinusoidal arrival waves over several \
+                 day-cycles on top of steady departure churn.",
+            )
+            .seed(8601)
+            .single(8, paper_helpers())
+            .demand(300.0)
+            .churn(0.1, 0.04)
+            .phase(WorkloadPhase::Diurnal { epochs: 240, period: 60, amplitude: 1.5 })
+            .build()
+            .expect("diurnal"),
+        ScenarioSpec::builder("bursty_loss_stress")
+            .description(
+                "Gilbert-Elliott bursty loss plus token-bucket policing, a Markov link \
+                 bandwidth, extra latency, and jitter — the full impairment stack.",
+            )
+            .seed(6060)
+            .single(12, paper_helpers())
+            .demand(350.0)
+            .impairment(
+                ImpairmentPlan::builder(99)
+                    .gilbert_loss(0.04, 0.3, 0.8, 0.01)
+                    .jitter_us(150)
+                    .token_bucket(500.0, 1000.0)
+                    .link_bandwidth(vec![300.0, 600.0, 900.0], 0.92)
+                    .latency(vec![1, 2, 4], 0.85)
+                    .build()
+                    .expect("bursty impairment plan"),
+            )
+            .phase(WorkloadPhase::Steady { epochs: 200 })
+            .build()
+            .expect("bursty_loss_stress"),
+    ]
+}
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    std::fs::create_dir_all(&dir).expect("create scenarios/");
+    for spec in specs() {
+        let path = dir.join(format!("{}.toml", spec.name()));
+        std::fs::write(&path, spec.to_toml_string()).expect("write scenario");
+        println!("wrote {} ({} epochs)", path.display(), spec.total_epochs());
+    }
+}

@@ -11,6 +11,8 @@ use rths_stoch::bandwidth::{
 use rths_stoch::markov::MarkovChain;
 use rths_stoch::process::ChurnProcess;
 
+use crate::impairment::ImpairmentPlan;
+
 /// Declarative description of one helper's bandwidth process, turned into
 /// a live process per helper at system construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -352,6 +354,11 @@ pub struct SimConfig {
     /// f64s; churn-free runs only). Feeds the playback-buffer QoE
     /// analysis ([`crate::playback`]).
     pub record_peer_rates: bool,
+    /// Link impairments (loss, rate limiting, bandwidth/latency
+    /// processes); [`ImpairmentPlan::none`] by default. Shared with the
+    /// `rths_net` runtimes: `NetConfig::from_sim` inherits this plan, and
+    /// all three backends apply it bit-identically.
+    pub impairment: ImpairmentPlan,
 }
 
 impl SimConfig {
@@ -367,6 +374,7 @@ impl SimConfig {
                 seed: 0,
                 record_joint_from: 0,
                 record_peer_rates: false,
+                impairment: ImpairmentPlan::none(),
             },
         }
     }
@@ -435,6 +443,12 @@ impl SimConfigBuilder {
     /// Enables per-peer rate-series recording (churn-free runs only).
     pub fn record_peer_rates(mut self, record: bool) -> Self {
         self.config.record_peer_rates = record;
+        self
+    }
+
+    /// Sets the link-impairment plan (see [`crate::impairment`]).
+    pub fn impairment(mut self, plan: ImpairmentPlan) -> Self {
+        self.config.impairment = plan;
         self
     }
 

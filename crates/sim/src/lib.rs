@@ -40,23 +40,29 @@ pub mod channel;
 pub mod churn;
 pub mod config;
 pub mod helper;
+pub mod impairment;
 pub mod metrics;
+pub mod minitoml;
 pub mod multichannel;
 pub mod peer;
 pub mod playback;
 pub mod regret;
 pub mod scenario;
 pub mod server;
+pub mod spec;
 pub mod store;
 pub mod system;
 pub mod workload;
 
 pub use config::{Algorithm, BandwidthSpec, LearnerSpec, SimConfig, SimConfigBuilder};
+pub use impairment::{ImpairmentError, ImpairmentPlan, LinkShaper, LossModel};
 pub use metrics::SimMetrics;
 pub use multichannel::{
     AllocationPolicy, MultiChannelConfig, MultiChannelOutcome, MultiChannelSystem,
 };
 pub use playback::{PlaybackBuffer, PlaybackStats};
 pub use scenario::Scenario;
+pub use spec::{ScenarioError, ScenarioReport, ScenarioSpec};
 pub use store::{LearnerCell, PeerStore};
 pub use system::{Outcome, System};
+pub use workload::WorkloadPhase;

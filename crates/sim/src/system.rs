@@ -11,6 +11,7 @@ use rths_stoch::rng::seeded_rng;
 
 use crate::config::SimConfig;
 use crate::helper::{Helper, HelperId};
+use crate::impairment::LinkShaper;
 use crate::metrics::SimMetrics;
 use crate::server::StreamingServer;
 use crate::store::{PeerStore, ShardScratch};
@@ -66,6 +67,10 @@ struct EpochScratch {
     removing: Vec<u32>,
     /// Profile widened to `usize` for joint-distribution recording.
     profile_usize: Vec<usize>,
+    /// Impairment-shaped delivered rate per peer (loss + link cap +
+    /// token bucket, before the demand cap). Only filled when the
+    /// impairment plan affects rates.
+    shaped: Vec<f64>,
 }
 
 /// The single-channel helper-assisted streaming system.
@@ -80,6 +85,10 @@ pub struct System {
     epoch: u64,
     master_rng: StdRng,
     scratch: EpochScratch,
+    /// Per-peer token-bucket state, slot-aligned with the peer store and
+    /// keyed by stable id so churn can evict departed peers without
+    /// touching survivors. Empty unless the impairment plan shapes rates.
+    links: Vec<(u64, LinkShaper)>,
 }
 
 impl std::fmt::Debug for System {
@@ -134,6 +143,7 @@ impl System {
             epoch: 0,
             master_rng,
             scratch: EpochScratch::default(),
+            links: Vec::new(),
         }
     }
 
@@ -268,6 +278,7 @@ impl System {
             delivered,
             shards,
             profile_usize,
+            shaped,
             ..
         } = &mut self.scratch;
         // resize without clear: choose_phase writes every slot (aux is
@@ -295,6 +306,38 @@ impl System {
         join_offsets.clear();
         join_offsets.extend([0, h]);
         delivered.resize(n, 0.0);
+
+        // Link impairments (loss, per-link bandwidth caps, token-bucket
+        // shaping) are applied between the helper's even split and the
+        // demand cap — the same pipeline order as the `rths_net`
+        // machines, so trajectories stay bit-identical across backends.
+        // The token bucket is stateful, so the shaped column is computed
+        // sequentially here (the observe phase's rate closure runs
+        // shard-parallel and must stay pure).
+        let shaped_rates: Option<&[f64]> = if self.config.impairment.affects_rates() {
+            let plan = &self.config.impairment;
+            let ids = self.peers.ids();
+            // Sync shaper slots with the population: survivors keep
+            // their bucket state (the store preserves ascending-id slot
+            // order through churn; arrivals always get larger ids, so
+            // the retained prefix stays slot-aligned).
+            self.links.retain(|&(id, _)| ids.binary_search(&id).is_ok());
+            for &id in &ids[self.links.len()..] {
+                self.links.push((id, LinkShaper::new()));
+            }
+            shaped.clear();
+            for slot in 0..n {
+                let choice = profile[slot] as usize;
+                let id = ids[slot];
+                let offered =
+                    if plan.is_lost(id, choice, self.epoch) { 0.0 } else { shares[choice] };
+                shaped.push(self.links[slot].1.shape(plan, id, choice, self.epoch, offered));
+            }
+            Some(&**shaped)
+        } else {
+            None
+        };
+
         let (worst_est, worst_emp) = {
             let shares = &*shares;
             self.peers.observe_phase(
@@ -305,14 +348,17 @@ impl System {
                 shards,
                 // The single-channel engine records worst_regret_estimate.
                 true,
-                move |_, choice, _| {
-                    let share = shares[choice as usize];
+                move |slot, choice, _| {
+                    let rate = match shaped_rates {
+                        Some(s) => s[slot],
+                        None => shares[choice as usize],
+                    };
                     match demand {
                         Some(d) => {
-                            let r = share.min(d);
+                            let r = rate.min(d);
                             (r, r >= d - 1e-9)
                         }
-                        None => (share, true),
+                        None => (rate, true),
                     }
                 },
             )

@@ -1,0 +1,86 @@
+//! The checked-in scenario zoo must stay loadable and runnable: every
+//! `scenarios/*.toml` parses, validates, round-trips through its own
+//! serialization, matches its file name, and runs to completion under a
+//! small epoch cap. This is the in-tree twin of CI's `scenario-smoke`
+//! job (which runs the full specs through the `run_scenario` binary).
+
+use std::path::PathBuf;
+
+use rths_sim::ScenarioSpec;
+
+fn zoo_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn zoo() -> Vec<(String, ScenarioSpec)> {
+    let mut specs = Vec::new();
+    for entry in std::fs::read_dir(zoo_dir()).expect("scenarios/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let spec = ScenarioSpec::load(&path)
+            .unwrap_or_else(|e| panic!("{} failed to load: {e}", path.display()));
+        specs.push((stem, spec));
+    }
+    specs.sort_by(|a, b| a.0.cmp(&b.0));
+    specs
+}
+
+#[test]
+fn the_zoo_is_complete_and_names_match_files() {
+    let specs = zoo();
+    let names: Vec<&str> = specs.iter().map(|(stem, _)| stem.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "bursty_loss_stress",
+            "channel_surfing",
+            "diurnal",
+            "flash_crowd_double",
+            "flash_crowd_spike",
+            "helper_cascade",
+        ],
+        "scenario zoo changed — update this list and the README catalog"
+    );
+    for (stem, spec) in &specs {
+        assert_eq!(spec.name(), stem, "spec name must match its file name");
+        assert!(!spec.description().is_empty(), "{stem}: zoo entries document themselves");
+    }
+}
+
+#[test]
+fn every_zoo_scenario_round_trips() {
+    for (stem, spec) in zoo() {
+        let reparsed = ScenarioSpec::from_toml_str(&spec.to_toml_string())
+            .unwrap_or_else(|e| panic!("{stem}: reserialized spec failed to parse: {e}"));
+        assert_eq!(reparsed, spec, "{stem}: TOML round trip changed the spec");
+    }
+}
+
+#[test]
+fn every_zoo_scenario_runs_under_a_small_cap() {
+    for (stem, spec) in zoo() {
+        let capped = spec.with_epoch_cap(12);
+        let report = capped.run();
+        assert_eq!(report.name, stem);
+        assert!(report.epochs >= 1 && report.epochs <= 12, "{stem}: cap not honored");
+        assert!(report.welfare.iter().all(|w| w.is_finite()), "{stem}: non-finite welfare");
+        assert!(report.final_population > 0, "{stem}: population collapsed");
+    }
+}
+
+#[test]
+fn zoo_runs_are_deterministic() {
+    for (stem, spec) in zoo() {
+        let a = spec.clone().with_epoch_cap(10).run();
+        let b = spec.with_epoch_cap(10).run();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&a.welfare),
+            bits(&b.welfare),
+            "{stem}: scenario runs must be bit-reproducible"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! The fully distributed deployment: every peer and every helper is an
 //! OS thread; the only communication is message passing (bootstrap via a
-//! tracker, per-epoch requests and rate replies). A fault plan injects
-//! data-plane loss and timing jitter.
+//! tracker, per-epoch requests and rate replies). An impairment plan
+//! injects data-plane loss and timing jitter.
 //!
 //! A fault-free threaded run reproduces the single-threaded simulator
 //! bit-for-bit — checked live at the end.
@@ -19,9 +19,10 @@ fn main() {
     let clean = NetRuntime::new(NetConfig::from_sim(sim_config.clone())).run(epochs);
     println!("clean run      welfare {}", sparkline(clean.metrics.welfare.values(), 56));
 
-    let lossy_plan = FaultPlan::with_loss(0.2, 77).with_jitter(50);
+    let lossy_plan =
+        ImpairmentPlan::builder(77).uniform_loss(0.2).build().unwrap().with_jitter(50);
     let lossy =
-        NetRuntime::new(NetConfig::from_sim(sim_config.clone()).with_faults(lossy_plan))
+        NetRuntime::new(NetConfig::from_sim(sim_config.clone()).with_impairments(lossy_plan))
             .run(epochs);
     println!("20% loss+jitter welfare {}", sparkline(lossy.metrics.welfare.values(), 56));
 

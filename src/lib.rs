@@ -65,8 +65,9 @@ pub mod prelude {
     pub use rths_mdp::MdpBenchmark;
     pub use rths_net::{Backend, FaultPlan, NetConfig, NetRuntime, ReactorRuntime};
     pub use rths_sim::{
-        Algorithm, AllocationPolicy, BandwidthSpec, LearnerSpec, MultiChannelConfig,
-        MultiChannelSystem, Scenario, SimConfig, System,
+        Algorithm, AllocationPolicy, BandwidthSpec, ImpairmentPlan, LearnerSpec,
+        MultiChannelConfig, MultiChannelSystem, Scenario, ScenarioSpec, SimConfig, System,
+        WorkloadPhase,
     };
 }
 

@@ -14,8 +14,8 @@
 
 use std::sync::Mutex;
 
-use rths_net::{Backend, FaultPlan, NetConfig, NetOutcome};
-use rths_sim::{BandwidthSpec, Scenario, SimConfig, System};
+use rths_net::{Backend, NetConfig, NetOutcome};
+use rths_sim::{BandwidthSpec, ImpairmentPlan, Scenario, SimConfig, System};
 
 /// Serializes `RTHS_THREADS` mutation across this binary's tests
 /// (process-global state).
@@ -166,11 +166,13 @@ fn jitter_does_not_change_results() {
     // the barrier protocol must absorb it completely on both.
     let config = Scenario::paper_small().seed(5).build();
     let clean = rths_net::run(NetConfig::from_sim(config.clone()), 60);
+    let jitter_plan =
+        ImpairmentPlan::builder(0).build().expect("empty plan is valid").with_jitter(200);
     for backend in [Backend::Threaded, Backend::Reactor] {
         let jittery = rths_net::run(
             NetConfig::from_sim(config.clone())
                 .with_backend(backend)
-                .with_faults(FaultPlan::none().with_jitter(200)),
+                .with_impairments(jitter_plan.clone()),
             60,
         );
         assert_eq!(
@@ -179,4 +181,47 @@ fn jitter_does_not_change_results() {
             "jitter changed outcomes on {backend:?} — barrier protocol is leaky"
         );
     }
+}
+
+#[test]
+fn equivalent_under_gilbert_elliott_and_token_bucket() {
+    // The impairment layer is shared state *and* shared code: the fault
+    // draw, the Gilbert-Elliott channel walk, and the token-bucket level
+    // are all pure functions of (plan seed, link, epoch), so a lossy,
+    // rate-shaped run must stay bit-identical across all three engines
+    // and at every worker count. This is the acceptance gate for the
+    // impairment layer itself.
+    let plan = ImpairmentPlan::builder(21)
+        .gilbert_loss(0.05, 0.35, 0.85, 0.1)
+        .token_bucket(400.0, 900.0)
+        .build()
+        .expect("valid impairment plan");
+    let config = SimConfig::builder(10, vec![BandwidthSpec::Paper { stay: 0.95 }; 3])
+        .demand(350.0)
+        .seed(13)
+        .impairment(plan)
+        .build();
+    assert_equivalent(config, 120);
+}
+
+#[test]
+fn equivalent_under_full_impairment_stack() {
+    // Everything at once: bursty loss, a link-bandwidth Markov chain,
+    // token-bucket policing, latency, and jitter. Latency and jitter are
+    // absorbed by the epoch barrier; the rest must shape rates
+    // identically in the sequential simulator and both net runtimes.
+    let plan = ImpairmentPlan::builder(77)
+        .gilbert_loss(0.02, 0.25, 0.9, 0.15)
+        .token_bucket(500.0, 1200.0)
+        .link_bandwidth(vec![250.0, 500.0, 900.0], 0.9)
+        .latency(vec![1, 3], 0.8)
+        .build()
+        .expect("valid impairment plan")
+        .with_jitter(150);
+    let config = SimConfig::builder(8, vec![BandwidthSpec::Paper { stay: 0.9 }; 3])
+        .demand(400.0)
+        .seed(29)
+        .impairment(plan)
+        .build();
+    assert_equivalent(config, 90);
 }
