@@ -14,11 +14,13 @@
 //! **20,000 actors** in one process (thread-per-actor would need 20k OS
 //! threads, so that point records no threaded run) and, with
 //! `RTHS_BENCH_LARGE=1`, to **100,000 actors** at a fixed epoch count.
-//! The compact learner state (`rths_core::compact`) plus the
+//! The per-shard learner slabs (`rths_core::slab`) plus the
 //! stretch-folded `O(n·h)` regret ledger (`rths_sim::regret`) and the
 //! reactor's per-shard mailbox rings are what keep 10⁵ `PeerMachine`s
 //! inside a sane footprint — each scenario records the process peak RSS
-//! (`VmHWM`) so the memory trajectory is visible alongside throughput.
+//! (`VmHWM`) so the memory trajectory is visible alongside throughput,
+//! and each run records mesh-construction time separately from epoch
+//! throughput (`construct_secs` / `construct_actors_per_sec`).
 //! Run with: `cargo run --release -p rths_bench --bin bench_net`
 //!
 //! * `RTHS_BENCH_QUICK=1` shrinks epochs and caps the threaded backend at
@@ -75,6 +77,8 @@ impl Scenario {
 struct Run {
     backend: &'static str,
     threads: usize,
+    construct_secs: f64,
+    construct_actors_per_sec: f64,
     secs: f64,
     actors_per_sec: f64,
     welfare_checksum: f64,
@@ -108,10 +112,10 @@ fn config(s: &Scenario) -> NetConfig {
     NetConfig::from_sim(sim).with_track_estimate(false)
 }
 
-/// Times epoch processing (run + result aggregation). Mesh construction
-/// — learner state allocation is ~3.2 GB at the 10⁵ point — is *not*
-/// epoch throughput and is reported separately on stdout.
-fn time_backend(s: &Scenario, backend: Backend) -> (f64, NetOutcome) {
+/// Times mesh construction and epoch processing (run + result
+/// aggregation) separately: construction is allocation-bound (the learner
+/// slabs), epochs are protocol-bound, and `perf_gate` gates both.
+fn time_backend(s: &Scenario, backend: Backend) -> (f64, f64, NetOutcome) {
     // One-shot local; the size skew between runtimes is irrelevant here.
     #[allow(clippy::large_enum_variant)]
     enum Built {
@@ -131,14 +135,7 @@ fn time_backend(s: &Scenario, backend: Backend) -> (f64, NetOutcome) {
         Built::Reactor(rt) => rt.run(s.epochs),
     };
     let secs = t1.elapsed().as_secs_f64();
-    if build_secs > 1.0 {
-        println!(
-            "  (mesh construction for {} actors took {build_secs:.1}s — excluded from \
-             actors/sec)",
-            s.actors()
-        );
-    }
-    (secs, out)
+    (build_secs, secs, out)
 }
 
 fn main() {
@@ -157,13 +154,14 @@ fn main() {
         if large { ", +large grid point" } else { "" }
     );
     println!(
-        "\n{:<6} {:>8} {:>7} {:>7} | {:>9} {:>8} {:>9} {:>14} {:>12}",
+        "\n{:<6} {:>8} {:>7} {:>7} | {:>9} {:>8} {:>9} {:>9} {:>14} {:>12}",
         "peers",
         "helpers",
         "actors",
         "epochs",
         "backend",
         "threads",
+        "build(s)",
         "secs",
         "actors/sec",
         "peakRSS(MB)"
@@ -180,10 +178,12 @@ fn main() {
         let threaded_ok = s.actors() <= THREADED_ACTOR_CAP
             && (!quick || s.actors() <= QUICK_THREADED_ACTOR_CAP);
         if threaded_ok {
-            let (secs, out) = time_backend(s, Backend::Threaded);
+            let (construct_secs, secs, out) = time_backend(s, Backend::Threaded);
             runs.push(Run {
                 backend: "threaded",
                 threads: 1, // one coordinator thread drives; actors are their own threads
+                construct_secs,
+                construct_actors_per_sec: s.actors() as f64 / construct_secs.max(1e-12),
                 secs,
                 actors_per_sec: (s.actors() as u64 * s.epochs) as f64 / secs.max(1e-12),
                 welfare_checksum: out.metrics.welfare.values().iter().sum(),
@@ -201,10 +201,12 @@ fn main() {
                 s.actors()
             );
         }
-        let (secs, out) = time_backend(s, Backend::Reactor);
+        let (construct_secs, secs, out) = time_backend(s, Backend::Reactor);
         runs.push(Run {
             backend: "reactor",
             threads,
+            construct_secs,
+            construct_actors_per_sec: s.actors() as f64 / construct_secs.max(1e-12),
             secs,
             actors_per_sec: (s.actors() as u64 * s.epochs) as f64 / secs.max(1e-12),
             welfare_checksum: out.metrics.welfare.values().iter().sum(),
@@ -224,8 +226,8 @@ fn main() {
                 print!("{:<6} {:>8} {:>7} {:>7} |", "", "", "", "");
             }
             print!(
-                " {:>9} {:>8} {:>9.3} {:>14.0}",
-                r.backend, r.threads, r.secs, r.actors_per_sec
+                " {:>9} {:>8} {:>9.3} {:>9.3} {:>14.0}",
+                r.backend, r.threads, r.construct_secs, r.secs, r.actors_per_sec
             );
             if ri + 1 == runs.len() {
                 println!(" {:>12.0}", rss_kb as f64 / 1024.0);
@@ -246,10 +248,13 @@ fn main() {
         for (ri, r) in runs.iter().enumerate() {
             let _ = writeln!(
                 json,
-                "        {{\"backend\": \"{}\", \"threads\": {}, \"secs\": {:.6}, \
+                "        {{\"backend\": \"{}\", \"threads\": {}, \"construct_secs\": {:.6}, \
+                 \"construct_actors_per_sec\": {:.3}, \"secs\": {:.6}, \
                  \"actors_per_sec\": {:.3}, \"welfare_checksum\": {:.6}}}{}",
                 r.backend,
                 r.threads,
+                r.construct_secs,
+                r.construct_actors_per_sec,
                 r.secs,
                 r.actors_per_sec,
                 r.welfare_checksum,

@@ -11,9 +11,11 @@
 //!   `(engine, peers, helpers, channels)` and compared per thread count
 //!   on `epochs_per_sec`.
 //! * `BENCH_net`: scenarios are matched by `(peers, helpers, actors)`
-//!   and compared per backend on `actors_per_sec`; recorded peak RSS
-//!   regressions above the threshold **warn but never fail** — memory
-//!   is tracked for the trajectory, throughput is the gate.
+//!   and compared per backend on `actors_per_sec` **and** (when both
+//!   reports carry it) `construct_actors_per_sec`, so a mesh-construction
+//!   regression fails the gate like an epoch-throughput one; recorded
+//!   peak RSS regressions above the threshold **warn but never fail** —
+//!   memory is tracked for the trajectory, throughput is the gate.
 //! * A drop of more than 30 % (override with
 //!   `RTHS_PERF_GATE_MAX_REGRESSION`, a fraction) on any matched run
 //!   fails the gate (exit 1).
@@ -236,18 +238,18 @@ fn gate_net(
             );
             continue;
         }
-        for (backend, threads, base_aps) in &base_scenario.runs {
+        for base_run in &base_scenario.runs {
             // Match by backend *and* recorded thread count — a 4-thread
             // fresh run is not comparable with a 1-thread baseline.
-            let Some(fresh_aps) = fresh_scenario
+            let Some(fresh_run) = fresh_scenario
                 .runs
                 .iter()
-                .find(|(b, t, _)| b == backend && t == threads)
-                .map(|&(_, _, a)| a)
+                .find(|r| r.backend == base_run.backend && r.threads == base_run.threads)
             else {
                 continue;
             };
-            let ratio = fresh_aps / base_aps.max(1e-12);
+            let backend = &base_run.backend;
+            let ratio = fresh_run.actors_per_sec / base_run.actors_per_sec.max(1e-12);
             compared += 1;
             let verdict = if ratio < 1.0 - max_regression { "FAIL" } else { "ok" };
             println!(
@@ -256,18 +258,47 @@ fn gate_net(
                 base_scenario.helpers,
                 base_scenario.actors,
                 backend,
-                base_aps,
-                fresh_aps,
+                base_run.actors_per_sec,
+                fresh_run.actors_per_sec,
                 ratio
             );
             if ratio < 1.0 - max_regression {
                 failures.push(format!(
                     "{} actors {backend}: {:.0} -> {:.0} actors/sec ({:.0}% drop)",
                     base_scenario.actors,
-                    base_aps,
-                    fresh_aps,
+                    base_run.actors_per_sec,
+                    fresh_run.actors_per_sec,
                     (1.0 - ratio) * 100.0
                 ));
+            }
+            // Construction throughput gates too (the learner-slab win);
+            // skipped when either report predates the field.
+            if let (Some(base_cps), Some(fresh_cps)) =
+                (base_run.construct_actors_per_sec, fresh_run.construct_actors_per_sec)
+            {
+                let cratio = fresh_cps / base_cps.max(1e-12);
+                compared += 1;
+                let verdict = if cratio < 1.0 - max_regression { "FAIL" } else { "ok" };
+                println!(
+                    "{:>7} {:>8} {:>7} {:>9} {:>14.0} {:>14.0} {:>8.2}x {verdict} (construct)",
+                    base_scenario.peers,
+                    base_scenario.helpers,
+                    base_scenario.actors,
+                    backend,
+                    base_cps,
+                    fresh_cps,
+                    cratio
+                );
+                if cratio < 1.0 - max_regression {
+                    failures.push(format!(
+                        "{} actors {backend}: {:.0} -> {:.0} construct actors/sec \
+                         ({:.0}% drop)",
+                        base_scenario.actors,
+                        base_cps,
+                        fresh_cps,
+                        (1.0 - cratio) * 100.0
+                    ));
+                }
             }
         }
         // Peak RSS: warn-only. A >threshold rise on a matched scenario

@@ -266,8 +266,22 @@ pub struct BenchNetScenario {
     /// scenario that bumps the high-water mark owns it; 0 when the
     /// producing host could not read it.
     pub peak_rss_kb: u64,
-    /// `(backend, threads, actors_per_sec)` per timed run.
-    pub runs: Vec<(String, usize, f64)>,
+    /// One entry per timed run.
+    pub runs: Vec<BenchNetRun>,
+}
+
+/// One timed run of a [`BenchNetScenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchNetRun {
+    /// Backend name (`threaded` / `reactor`).
+    pub backend: String,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Epoch throughput (actor-epochs per second).
+    pub actors_per_sec: f64,
+    /// Mesh-construction throughput (actors per second), `None` in
+    /// reports written before construction was recorded.
+    pub construct_actors_per_sec: Option<f64>,
 }
 
 impl BenchNetScenario {
@@ -278,7 +292,13 @@ impl BenchNetScenario {
 
     /// Actors/sec recorded for `backend`, if that run exists.
     pub fn actors_per_sec(&self, backend: &str) -> Option<f64> {
-        self.runs.iter().find(|(b, _, _)| b == backend).map(|&(_, _, a)| a)
+        self.runs.iter().find(|r| r.backend == backend).map(|r| r.actors_per_sec)
+    }
+
+    /// Construction actors/sec recorded for `backend`, if that run
+    /// exists and the report is recent enough to carry the field.
+    pub fn construct_actors_per_sec(&self, backend: &str) -> Option<f64> {
+        self.runs.iter().find(|r| r.backend == backend)?.construct_actors_per_sec
     }
 }
 
@@ -314,7 +334,12 @@ pub fn parse_bench_net(text: &str) -> Result<BenchNetReport, String> {
             let Some(current) = scenarios.last_mut() else {
                 return Err("run line before any scenario".to_string());
             };
-            current.runs.push((backend, threads, aps));
+            current.runs.push(BenchNetRun {
+                backend,
+                threads,
+                actors_per_sec: aps,
+                construct_actors_per_sec: json_f64(line, "construct_actors_per_sec"),
+            });
             continue;
         }
         if in_scenarios {
@@ -443,7 +468,7 @@ mod tests {
       "identical_output": true,
       "runs": [
         {"backend": "threaded", "threads": 1, "secs": 0.3, "actors_per_sec": 26666.0, "welfare_checksum": 1.0},
-        {"backend": "reactor", "threads": 1, "secs": 0.01, "actors_per_sec": 800000.0, "welfare_checksum": 1.0}
+        {"backend": "reactor", "threads": 1, "construct_secs": 0.002, "construct_actors_per_sec": 80000.0, "secs": 0.01, "actors_per_sec": 800000.0, "welfare_checksum": 1.0}
       ]
     },
     {
@@ -469,6 +494,10 @@ mod tests {
         assert_eq!(first.peak_rss_kb, 20480);
         assert_eq!(first.actors_per_sec("reactor"), Some(800000.0));
         assert_eq!(first.actors_per_sec("carrier-pigeon"), None);
+        // New-format runs carry construction throughput; old-format run
+        // lines (the threaded one above) degrade to None.
+        assert_eq!(first.construct_actors_per_sec("reactor"), Some(80000.0));
+        assert_eq!(first.construct_actors_per_sec("threaded"), None);
         assert_eq!(report.scenarios[1].actors, 100000);
     }
 

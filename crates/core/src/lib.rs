@@ -71,6 +71,7 @@ pub mod matching;
 pub mod metrics;
 pub mod policy;
 pub mod recursive;
+pub mod slab;
 
 pub use compact::RthsState;
 pub use config::{ConfigError, RecencyMode, RthsConfig, RthsConfigBuilder};
@@ -81,3 +82,4 @@ pub use learner::Learner;
 pub use matching::RegretMatchingLearner;
 pub use metrics::ConvergenceSeries;
 pub use recursive::RthsLearner;
+pub use slab::{LearnerSlab, SharedSlab, SlabCols, SlabLearner};

@@ -1,15 +1,41 @@
 //! Property-based tests for the RTHS learners.
 
+use std::sync::{Arc, Mutex};
+
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rths_core::{
-    HistoryRths, Learner, RecencyMode, RegretMatchingLearner, RthsConfig, RthsLearner,
+    HistoryRths, Learner, LearnerSlab, RecencyMode, RegretMatchingLearner, RthsConfig,
+    RthsLearner, SlabLearner,
 };
 
 fn arb_config() -> impl Strategy<Value = RthsConfig> {
     (2usize..6, 0.005..0.5f64, 0.02..0.5f64, 10.0..10000.0f64).prop_map(
         |(m, eps, delta, mu)| {
             RthsConfig::builder(m).epsilon(eps).delta(delta).mu(mu).build().unwrap()
+        },
+    )
+}
+
+/// Like [`arb_config`] but additionally sweeping all three recency modes
+/// and the conditional-regret flag — the full mode matrix the slab must
+/// replay bit-for-bit.
+fn arb_config_all_modes() -> impl Strategy<Value = RthsConfig> {
+    (2usize..6, 0.005..0.5f64, 0.02..0.5f64, 10.0..10000.0f64, 0usize..3, 0usize..2).prop_map(
+        |(m, eps, delta, mu, mode, cond)| {
+            let recency = match mode {
+                0 => RecencyMode::Exponential,
+                1 => RecencyMode::PaperLiteral,
+                _ => RecencyMode::Uniform,
+            };
+            RthsConfig::builder(m)
+                .epsilon(eps)
+                .delta(delta)
+                .mu(mu)
+                .recency(recency)
+                .conditional(cond == 1)
+                .build()
+                .unwrap()
         },
     )
 }
@@ -162,6 +188,40 @@ proptest! {
         let expect = 1.0 / new_m as f64;
         for &p in l.probabilities() {
             prop_assert!((p - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slab_learner_replays_recursive_learner_bitwise(
+        cfg in arb_config_all_modes(),
+        seed in any::<u64>(),
+        utilities in prop::collection::vec(0.0..1000.0f64, 40..120),
+    ) {
+        // Slab-backed learners must replay the scalar wrapped learner
+        // bit-for-bit over randomized trajectories in every recency ×
+        // conditional mode. Two slots share the slab so the strided
+        // layout (not just a lone slot) is exercised.
+        let slab = Arc::new(Mutex::new(LearnerSlab::new(cfg.num_actions())));
+        let _neighbor = SlabLearner::new(Arc::clone(&slab), cfg.clone());
+        let mut slabbed = SlabLearner::new(Arc::clone(&slab), cfg.clone());
+        let mut wrapped = RthsLearner::new(cfg);
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+        for (s, &u) in utilities.iter().enumerate() {
+            let a = wrapped.select_action(&mut rng_a);
+            let b = slabbed.select_action(&mut rng_b);
+            prop_assert_eq!(a, b, "action diverged at stage {}", s);
+            wrapped.observe(u);
+            slabbed.observe(u);
+            for (x, y) in wrapped.probabilities().iter().zip(slabbed.probabilities()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "probs diverged at stage {}", s);
+            }
+            prop_assert_eq!(
+                wrapped.max_regret().to_bits(),
+                slabbed.max_regret().to_bits(),
+                "max_regret diverged at stage {}",
+                s
+            );
         }
     }
 

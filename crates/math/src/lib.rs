@@ -28,6 +28,7 @@
 
 pub mod assert;
 pub mod ewma;
+pub mod kernels;
 pub mod matrix;
 pub mod stats;
 pub mod vector;

@@ -39,10 +39,13 @@ impl Matrix {
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        let mut m = Self::zeros(rows, cols);
-        m.data.fill(value);
-        m
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self { rows, cols, data: vec![value; rows * cols] }
     }
 
     /// Creates the `n × n` identity matrix.

@@ -23,9 +23,13 @@
 //! runtime bit-for-bit at any `RTHS_THREADS`; the workspace-level
 //! `sim_net_equivalence` test pins that three-way equality.
 
-use rths_reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats};
-use rths_sim::peer::Peer;
-use rths_sim::ImpairmentPlan;
+use std::sync::{Arc, Mutex};
+
+use rths_core::{LearnerSlab, SlabLearner};
+use rths_reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats, SHARD_SPAN};
+use rths_sim::peer::{Peer, PeerId};
+use rths_sim::{Algorithm, AnyLearner, ImpairmentPlan};
+use rths_stoch::rng::entity_rng;
 
 use crate::machines::{instantiate_helpers, CoordinatorMachine, HelperMachine, PeerMachine};
 use crate::runtime::{MessageTotals, NetConfig, NetOutcome};
@@ -435,14 +439,54 @@ impl ReactorRuntime {
                 data: 0,
             }));
         }
-        for id in 0..n as u64 {
-            reactor.add_actor(NetActor::Peer(PeerNode {
-                machine: PeerMachine::from_config(sim, id, h, impairments.clone()),
-                coordinator,
-                helper_base: None,
-                track_estimate: config.track_estimate,
-                control: 0,
-            }));
+        if matches!(sim.learner.algorithm, Algorithm::Rths) {
+            // Default-algorithm fast path: instead of 10⁵ per-peer
+            // `Matrix::zeros` heap blocks, each mailbox shard's peers
+            // share one pre-sized `LearnerSlab` (column-major arena,
+            // lazily mapped zero pages — see `rths_core::slab`). A shard
+            // is processed by exactly one worker per round, so the slab
+            // mutex is uncontended; learners replay the scalar path
+            // bit-for-bit, keeping the three-way equivalence intact. The
+            // per-channel config is derived once, not once per peer.
+            let learner_config = sim
+                .learner
+                .rths_config(h, sim.rate_scale())
+                .expect("learner spec validated by construction");
+            let mut start = 0usize;
+            while start < n {
+                // Peers sharing a mailbox shard: actor ids
+                // `peer_base + start ..` up to the next SHARD_SPAN edge.
+                let shard_end = ((peer_base + start) / SHARD_SPAN + 1) * SHARD_SPAN;
+                let end = n.min(shard_end - peer_base);
+                let slab =
+                    Arc::new(Mutex::new(LearnerSlab::with_capacity(h.max(1), end - start)));
+                for id in start..end {
+                    let learner = AnyLearner::SlabRths(SlabLearner::new(
+                        Arc::clone(&slab),
+                        learner_config.clone(),
+                    ));
+                    let id = id as u64;
+                    let peer = Peer::new(PeerId(id), learner, entity_rng(sim.seed, id), 0, 0);
+                    reactor.add_actor(NetActor::Peer(PeerNode {
+                        machine: PeerMachine::new(peer, sim.demand, impairments.clone()),
+                        coordinator,
+                        helper_base: None,
+                        track_estimate: config.track_estimate,
+                        control: 0,
+                    }));
+                }
+                start = end;
+            }
+        } else {
+            for id in 0..n as u64 {
+                reactor.add_actor(NetActor::Peer(PeerNode {
+                    machine: PeerMachine::from_config(sim, id, h, impairments.clone()),
+                    coordinator,
+                    helper_base: None,
+                    track_estimate: config.track_estimate,
+                    control: 0,
+                }));
+            }
         }
         Self { reactor, coordinator, helper_base, num_helpers: h, num_peers: n }
     }

@@ -2,7 +2,7 @@
 
 use rths_core::{
     ConfigError, Exp3Config, Exp3Learner, HistoryRths, Learner, RecencyMode,
-    RegretMatchingLearner, RthsConfig, RthsLearner,
+    RegretMatchingLearner, RthsConfig, RthsLearner, SlabLearner,
 };
 use rths_stoch::bandwidth::{
     BandwidthProcess, ConstantBandwidth, GilbertElliott, MarkovBandwidth, RandomWalkBandwidth,
@@ -190,6 +190,10 @@ impl Default for LearnerSpec {
 pub enum AnyLearner {
     /// Recursive RTHS (Algorithm 2).
     Rths(RthsLearner),
+    /// Recursive RTHS whose state lives in a shared
+    /// [`LearnerSlab`](rths_core::LearnerSlab) slot — the batched
+    /// arena layout the reactor backend hands its actors.
+    SlabRths(SlabLearner),
     /// Regret-matching baseline.
     Matching(RegretMatchingLearner),
     /// History-based RTHS (Algorithm 1).
@@ -202,6 +206,7 @@ impl Learner for AnyLearner {
     fn num_actions(&self) -> usize {
         match self {
             AnyLearner::Rths(l) => l.num_actions(),
+            AnyLearner::SlabRths(l) => l.num_actions(),
             AnyLearner::Matching(l) => l.num_actions(),
             AnyLearner::History(l) => l.num_actions(),
             AnyLearner::Exp3(l) => l.num_actions(),
@@ -211,6 +216,7 @@ impl Learner for AnyLearner {
     fn probabilities(&self) -> &[f64] {
         match self {
             AnyLearner::Rths(l) => l.probabilities(),
+            AnyLearner::SlabRths(l) => l.probabilities(),
             AnyLearner::Matching(l) => l.probabilities(),
             AnyLearner::History(l) => l.probabilities(),
             AnyLearner::Exp3(l) => l.probabilities(),
@@ -220,6 +226,7 @@ impl Learner for AnyLearner {
     fn select_action(&mut self, rng: &mut dyn rand::RngCore) -> usize {
         match self {
             AnyLearner::Rths(l) => l.select_action(rng),
+            AnyLearner::SlabRths(l) => l.select_action(rng),
             AnyLearner::Matching(l) => l.select_action(rng),
             AnyLearner::History(l) => l.select_action(rng),
             AnyLearner::Exp3(l) => l.select_action(rng),
@@ -229,6 +236,7 @@ impl Learner for AnyLearner {
     fn observe(&mut self, utility: f64) {
         match self {
             AnyLearner::Rths(l) => l.observe(utility),
+            AnyLearner::SlabRths(l) => l.observe(utility),
             AnyLearner::Matching(l) => l.observe(utility),
             AnyLearner::History(l) => l.observe(utility),
             AnyLearner::Exp3(l) => l.observe(utility),
@@ -238,6 +246,7 @@ impl Learner for AnyLearner {
     fn max_regret(&self) -> f64 {
         match self {
             AnyLearner::Rths(l) => l.max_regret(),
+            AnyLearner::SlabRths(l) => l.max_regret(),
             AnyLearner::Matching(l) => l.max_regret(),
             AnyLearner::History(l) => l.max_regret(),
             AnyLearner::Exp3(l) => l.max_regret(),
@@ -247,6 +256,7 @@ impl Learner for AnyLearner {
     fn stage(&self) -> u64 {
         match self {
             AnyLearner::Rths(l) => l.stage(),
+            AnyLearner::SlabRths(l) => l.stage(),
             AnyLearner::Matching(l) => l.stage(),
             AnyLearner::History(l) => l.stage(),
             AnyLearner::Exp3(l) => l.stage(),
@@ -256,6 +266,7 @@ impl Learner for AnyLearner {
     fn pending_action(&self) -> Option<usize> {
         match self {
             AnyLearner::Rths(l) => l.pending_action(),
+            AnyLearner::SlabRths(l) => l.pending_action(),
             AnyLearner::Matching(l) => l.pending_action(),
             AnyLearner::History(l) => l.pending_action(),
             AnyLearner::Exp3(l) => l.pending_action(),
@@ -265,6 +276,7 @@ impl Learner for AnyLearner {
     fn reset_actions(&mut self, num_actions: usize) {
         match self {
             AnyLearner::Rths(l) => l.reset_actions(num_actions),
+            AnyLearner::SlabRths(l) => l.reset_actions(num_actions),
             AnyLearner::Matching(l) => l.reset_actions(num_actions),
             AnyLearner::History(l) => l.reset_actions(num_actions),
             AnyLearner::Exp3(l) => l.reset_actions(num_actions),

@@ -54,7 +54,9 @@ pub mod store;
 pub mod system;
 pub mod workload;
 
-pub use config::{Algorithm, BandwidthSpec, LearnerSpec, SimConfig, SimConfigBuilder};
+pub use config::{
+    Algorithm, AnyLearner, BandwidthSpec, LearnerSpec, SimConfig, SimConfigBuilder,
+};
 pub use impairment::{ImpairmentError, ImpairmentPlan, LinkShaper, LossModel};
 pub use metrics::SimMetrics;
 pub use multichannel::{
@@ -63,6 +65,6 @@ pub use multichannel::{
 pub use playback::{PlaybackBuffer, PlaybackStats};
 pub use scenario::Scenario;
 pub use spec::{ScenarioError, ScenarioReport, ScenarioSpec};
-pub use store::{LearnerCell, PeerStore};
+pub use store::{LearnerCell, LearnerRef, PeerStore};
 pub use system::{Outcome, System};
 pub use workload::WorkloadPhase;

@@ -412,6 +412,7 @@ impl MultiChannelSystem {
             rate_scale,
             &actions_per_channel,
         );
+        peers.reserve(total_viewers);
         for (c, &count) in config.viewers.iter().enumerate() {
             for _ in 0..count {
                 peers.spawn(c, 0);

@@ -3,9 +3,11 @@
 //! Both engines ([`crate::System`] and [`crate::MultiChannelSystem`])
 //! keep their peer population here instead of a `Vec<Peer>`. The store
 //! holds one flat column per field — stable `u64` ids, `u32` channel and
-//! helper indices, the per-entity RNG streams, compact learner state
-//! (shared [`RthsConfig`] per channel + [`RthsState`] per peer, see
-//! `rths_core::compact`), the accounting scalars, and the stretch-folded
+//! helper indices, the per-entity RNG streams, slab-backed learner state
+//! (shared [`RthsConfig`] per channel + one slot of the store's
+//! [`LearnerSlab`] per peer, see `rths_core::slab` for the column-major
+//! arena layout and its batched kernels), the accounting scalars, and the
+//! stretch-folded
 //! true-regret ledger (one `O(m)` folded row per peer plus a global
 //! join-rate prefix, see [`crate::regret`]) — so a million-peer
 //! population is a handful of large allocations with unit-stride hot
@@ -39,7 +41,7 @@
 
 use rand::rngs::StdRng;
 
-use rths_core::{Learner, RthsConfig, RthsState};
+use rths_core::{Learner, LearnerSlab, RecencyMode, RthsConfig};
 use rths_par::par_sharded;
 use rths_stoch::rng::entity_rng;
 
@@ -49,59 +51,41 @@ use crate::regret::{self, RegretLedger};
 /// Sentinel for "no helper chosen yet" in the `last_helper` column.
 pub const NO_HELPER: u32 = u32::MAX;
 
-/// One peer's learner in the store: the default RTHS algorithm keeps only
-/// its compact split state (the shared per-channel [`RthsConfig`] lives
-/// once on the store); other algorithms stay self-contained and are boxed
-/// so the common case's column stays dense.
+/// One peer's learner in the store: the default RTHS algorithm keeps its
+/// whole state in the store's [`LearnerSlab`] at the peer's slot (the
+/// shared per-channel [`RthsConfig`] lives once on the store), so the
+/// common case's cell is a unit tag; other algorithms stay self-contained
+/// and are boxed.
 #[derive(Debug, Clone)]
 pub enum LearnerCell {
-    /// Compact recursive-RTHS state (the default algorithm).
-    Rths(RthsState),
+    /// Slab-backed recursive-RTHS state (the default algorithm); the
+    /// state lives at the same slot of the store's learner slab.
+    Rths,
     /// Any other algorithm, boxed.
     Boxed(Box<AnyLearner>),
 }
 
-impl LearnerCell {
-    fn select_action(&mut self, rng: &mut StdRng) -> usize {
-        match self {
-            LearnerCell::Rths(state) => state.select_action(rng),
-            LearnerCell::Boxed(learner) => learner.select_action(rng),
-        }
-    }
+/// Read-only view of one peer's learner, dispatching between the slab
+/// column and a boxed cell (final reporting, tests).
+#[derive(Debug, Clone, Copy)]
+pub struct LearnerRef<'a> {
+    store: &'a PeerStore,
+    slot: usize,
+}
 
-    fn observe(&mut self, config: &RthsConfig, utility: f64, row_scratch: &mut Vec<f64>) {
-        match self {
-            LearnerCell::Rths(state) => state.observe(config, utility, row_scratch),
-            LearnerCell::Boxed(learner) => learner.observe(utility),
-        }
-    }
-
-    fn max_regret(&self, config: &RthsConfig) -> f64 {
-        match self {
-            LearnerCell::Rths(state) => state.max_regret(config),
-            LearnerCell::Boxed(learner) => learner.max_regret(),
-        }
-    }
-
-    fn reset_actions(&mut self, num_actions: usize) {
-        match self {
-            LearnerCell::Rths(state) => state.reset_actions(num_actions),
-            LearnerCell::Boxed(learner) => learner.reset_actions(num_actions),
-        }
-    }
-
+impl LearnerRef<'_> {
     /// The current mixed strategy.
     pub fn probabilities(&self) -> &[f64] {
-        match self {
-            LearnerCell::Rths(state) => state.probabilities(),
+        match &self.store.learners[self.slot] {
+            LearnerCell::Rths => self.store.slab.probabilities(self.slot),
             LearnerCell::Boxed(learner) => learner.probabilities(),
         }
     }
 
     /// Stages observed so far.
     pub fn stage(&self) -> u64 {
-        match self {
-            LearnerCell::Rths(state) => state.stage(),
+        match &self.store.learners[self.slot] {
+            LearnerCell::Rths => self.store.slab.stage(self.slot),
             LearnerCell::Boxed(learner) => learner.stage(),
         }
     }
@@ -118,6 +102,8 @@ pub struct ShardScratch {
     pub loads: Vec<usize>,
     /// Regret-row scratch shared by the shard's compact learners.
     row: Vec<f64>,
+    /// Diagonal scratch for the shard's slab `max_regret` scans.
+    diag: Vec<f64>,
     /// Shard-local maximum of the learners' internal regret estimates.
     worst_estimate: f64,
     /// Shard-local maximum of the peers' empirical regrets.
@@ -145,6 +131,12 @@ pub struct PeerStore {
     /// [`rths_par::threads`] per phase.
     shard_override: Option<usize>,
     next_id: u64,
+    /// Arena of slab-backed learner state in **slot-aligned mode**: slab
+    /// slot `i` is peer slot `i` (every spawn allocates a slab slot even
+    /// for boxed algorithms so the alignment never drifts), and
+    /// departures run the slab's order-preserving compaction alongside
+    /// the column compaction below.
+    slab: LearnerSlab,
     // === index-aligned SoA columns ===
     ids: Vec<u64>,
     channels: Vec<u32>,
@@ -183,6 +175,7 @@ impl PeerStore {
                     .expect("learner spec validated by construction")
             })
             .collect();
+        let stride = actions.iter().copied().max().unwrap_or(1) as usize;
         Self {
             seed,
             spec,
@@ -192,6 +185,7 @@ impl PeerStore {
             regret: RegretLedger::new(actions_per_channel),
             shard_override: None,
             next_id: 0,
+            slab: LearnerSlab::new(stride),
             ids: Vec::new(),
             channels: Vec::new(),
             joined_at: Vec::new(),
@@ -204,6 +198,27 @@ impl PeerStore {
             last_helper: Vec::new(),
             switches: Vec::new(),
         }
+    }
+
+    /// Pre-creates zeroed backing storage for `additional` more peers.
+    /// Call on a freshly built store before the bulk spawn loop: the
+    /// learner slab gets its whole T/probs/freq region as one lazily
+    /// mapped `alloc_zeroed` (pages commit only as columns are written),
+    /// so constructing 10⁵ peers is a handful of large allocations
+    /// instead of a per-peer allocation storm.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slab.reserve(additional);
+        self.ids.reserve(additional);
+        self.channels.reserve(additional);
+        self.joined_at.reserve(additional);
+        self.rngs.reserve(additional);
+        self.learners.reserve(additional);
+        self.total_rate.reserve(additional);
+        self.epochs_online.reserve(additional);
+        self.epochs_served.reserve(additional);
+        self.satisfied_epochs.reserve(additional);
+        self.last_helper.reserve(additional);
+        self.switches.reserve(additional);
     }
 
     /// Online peers.
@@ -241,12 +256,16 @@ impl PeerStore {
         let id = self.next_id;
         self.next_id += 1;
         let m = self.actions[channel] as usize;
+        // Always claim the matching slab slot (even for boxed learners)
+        // so slab slots and store slots stay index-aligned.
+        let slab_slot = self.slab.alloc(m);
+        debug_assert_eq!(slab_slot as usize, self.ids.len(), "slab slot misaligned");
         self.ids.push(id);
         self.channels.push(channel as u32);
         self.joined_at.push(epoch);
         self.rngs.push(entity_rng(self.seed, id));
         self.learners.push(match self.spec.algorithm {
-            Algorithm::Rths => LearnerCell::Rths(RthsState::new(&self.configs[channel])),
+            Algorithm::Rths => LearnerCell::Rths,
             _ => LearnerCell::Boxed(Box::new(
                 self.spec
                     .instantiate(m, self.rate_scale)
@@ -314,6 +333,9 @@ impl PeerStore {
         self.satisfied_epochs.truncate(write);
         self.last_helper.truncate(write);
         self.switches.truncate(write);
+        // The slab mirrors the column compaction (same order-preserving
+        // write-cursor walk), keeping slab slots == store slots.
+        self.slab.remove_slots(slots);
         // The ledger compacts its own columns (open stretches fold into
         // nothing for departed peers and stay valid for survivors — the
         // ledger's global prefix/ring state is slot-independent).
@@ -333,7 +355,10 @@ impl PeerStore {
         // prefix before the move — the stretch was accumulated there.
         self.regret.migrate(slot, self.channels[slot] as usize);
         self.channels[slot] = channel as u32;
-        self.learners[slot].reset_actions(new_m);
+        match &mut self.learners[slot] {
+            LearnerCell::Rths => self.slab.reset_actions(slot, new_m),
+            LearnerCell::Boxed(learner) => learner.reset_actions(new_m),
+        }
         self.last_helper[slot] = NO_HELPER;
     }
 
@@ -389,7 +414,7 @@ impl PeerStore {
         assert_eq!(aux.len(), n, "aux column must be index-aligned");
         let shards = self.shards_for(n);
         Self::prepare_scratch(scratch, shards, loads_len);
-        let PeerStore { learners, rngs, last_helper, switches, channels, .. } = self;
+        let PeerStore { learners, rngs, last_helper, switches, channels, slab, .. } = self;
         let channels = &*channels;
         par_sharded(
             n,
@@ -398,11 +423,15 @@ impl PeerStore {
                 (&mut learners[..], &mut rngs[..]),
                 (&mut last_helper[..], &mut switches[..]),
                 (profile, aux),
+                slab.split(),
             ),
             &mut scratch[..],
-            |shard, ((learners, rngs), (last, switches), (profile, aux)), s| {
+            |shard, ((learners, rngs), (last, switches), (profile, aux), mut slab), s| {
                 for i in 0..shard.len() {
-                    let choice = learners[i].select_action(&mut rngs[i]) as u32;
+                    let choice = match &mut learners[i] {
+                        LearnerCell::Rths => slab.select_action(i, &mut rngs[i]),
+                        LearnerCell::Boxed(l) => l.select_action(&mut rngs[i]),
+                    } as u32;
                     if last[i] != NO_HELPER && last[i] != choice {
                         switches[i] += 1;
                     }
@@ -453,6 +482,13 @@ impl PeerStore {
         assert_eq!(delivered.len(), n, "delivered column must be index-aligned");
         let shards = self.shards_for(n);
         Self::prepare_scratch(scratch, shards, 0);
+        // With the default algorithm in exponential-recency mode, every
+        // slab slot observes exactly once per phase, so the per-observe
+        // T-decay hoists into one batched column sweep per shard
+        // (bit-identical — pinned by the slab's oracle tests).
+        let batch_decay = matches!(self.spec.algorithm, Algorithm::Rths)
+            && self.configs[0].recency() == RecencyMode::Exponential;
+        let keep = 1.0 - self.configs[0].epsilon();
         let PeerStore {
             learners,
             total_rate,
@@ -462,6 +498,7 @@ impl PeerStore {
             regret,
             channels,
             configs,
+            slab,
             ..
         } = self;
         let channels = &*channels;
@@ -478,16 +515,28 @@ impl PeerStore {
                 (&mut learners[..], &mut total_rate[..], &mut epochs_online[..]),
                 (&mut epochs_served[..], &mut satisfied_epochs[..], delivered),
                 ledger_cols,
+                slab.split(),
             ),
             &mut scratch[..],
-            |shard, ((learners, total, online), (served, sat, out), mut ledger), s| {
+            |shard,
+             ((learners, total, online), (served, sat, out), mut ledger, mut slab),
+             s| {
+                if batch_decay {
+                    slab.decay(keep);
+                }
                 for i in 0..shard.len() {
                     let abs = shard.start + i;
                     let channel = channels[abs];
                     let config = &configs[channel as usize];
                     let (rate, satisfied) = rate_of(abs, profile[abs], channel);
                     // Bandit feedback + accounting (Peer::deliver order).
-                    learners[i].observe(config, rate, &mut s.row);
+                    match &mut learners[i] {
+                        LearnerCell::Rths if batch_decay => {
+                            slab.observe_predecayed(i, config, rate, &mut s.row)
+                        }
+                        LearnerCell::Rths => slab.observe(i, config, rate, &mut s.row),
+                        LearnerCell::Boxed(l) => l.observe(rate),
+                    }
                     total[i] += rate;
                     online[i] += 1;
                     if rate > 0.0 {
@@ -509,7 +558,11 @@ impl PeerStore {
                     );
                     // Shard-affine metric folds (non-negative maxima).
                     if track_estimate {
-                        s.worst_estimate = s.worst_estimate.max(learners[i].max_regret(config));
+                        let estimate = match &mut learners[i] {
+                            LearnerCell::Rths => slab.max_regret(i, config, &mut s.diag),
+                            LearnerCell::Boxed(l) => l.max_regret(),
+                        };
+                        s.worst_estimate = s.worst_estimate.max(estimate);
                     }
                     s.worst_empirical = s.worst_empirical.max(worst);
                     out[i] = rate;
@@ -595,8 +648,9 @@ impl PeerStore {
     }
 
     /// The learner of the peer in `slot`.
-    pub fn learner(&self, slot: usize) -> &LearnerCell {
-        &self.learners[slot]
+    pub fn learner(&self, slot: usize) -> LearnerRef<'_> {
+        assert!(slot < self.learners.len(), "slot out of range");
+        LearnerRef { store: self, slot }
     }
 }
 

@@ -125,6 +125,7 @@ impl System {
             config.rate_scale(),
             &[helpers.len()],
         );
+        peers.reserve(config.num_peers);
         for _ in 0..config.num_peers {
             peers.spawn(0, 0);
         }
