@@ -31,6 +31,10 @@
 //!   a CI run against the committed full-grid baseline.
 //! * `RTHS_THREADS` shards the reactor's rounds (recorded in the JSON;
 //!   results are identical at any value).
+//! * `RTHS_TRACE=1` exports an `rths_obs` trace of the **last** grid
+//!   run (each runtime's `run()` begins a fresh trace) as
+//!   `net_reactor_trace.jsonl` / `.json`. Tracing adds measurement
+//!   overhead — traced numbers are for profiling, not baselines.
 //! * Output lands in `results/BENCH_net.json` (see `RTHS_RESULTS_DIR`).
 //!
 //! Learner-estimate tracking (`NetConfig::track_estimate`) is disabled:
@@ -41,8 +45,9 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::Instant;
 
-use rths_bench::{peak_rss_kb, results_dir};
+use rths_bench::{export_trace, peak_rss_kb, results_dir};
 use rths_net::{Backend, NetConfig, NetOutcome};
+use rths_obs as obs;
 use rths_sim::{BandwidthSpec, SimConfig};
 
 /// In quick (CI) mode, skip the threaded backend above this actor count:
@@ -139,6 +144,10 @@ fn time_backend(s: &Scenario, backend: Backend) -> (f64, f64, NetOutcome) {
 }
 
 fn main() {
+    obs::init_from_env();
+    if obs::enabled() {
+        println!("rths_obs tracing enabled — throughput numbers are not baseline-comparable");
+    }
     let quick = std::env::var("RTHS_BENCH_QUICK").is_ok_and(|v| v != "0");
     let large = std::env::var("RTHS_BENCH_LARGE").is_ok_and(|v| v != "0");
     let threads = rths_par::threads();
@@ -271,4 +280,8 @@ fn main() {
     let mut file = std::fs::File::create(&path).expect("can create BENCH_net.json");
     file.write_all(json.as_bytes()).expect("can write BENCH_net.json");
     println!("\nbackend outputs identical per scenario; json: {}", path.display());
+    if obs::enabled() {
+        let (jsonl, chrome) = export_trace(&obs::take_report());
+        println!("trace (last grid run): {} | {}", jsonl.display(), chrome.display());
+    }
 }

@@ -20,13 +20,21 @@
 //! * The full grid tops out at the ROADMAP's **10⁶ peers / 10³ helpers /
 //!   10² channels** point, exercising the sharded SoA peer store at the
 //!   population the paper's claims are about.
+//! * Each scenario records the process peak RSS (`VmHWM`) like
+//!   `bench_net` does, so the memory trajectory of the simulator grid is
+//!   gated (warn-only) by `perf_gate` too.
+//! * `RTHS_TRACE=1` additionally exports an `rths_obs` trace of the whole
+//!   grid (`bench_sim_trace.jsonl` / `.json`). Tracing adds measurement
+//!   overhead — traced throughput numbers are for profiling, not for
+//!   committing as a baseline.
 //! * Output lands in `results/BENCH_sim.json` (see `RTHS_RESULTS_DIR`).
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::time::Instant;
 
-use rths_bench::results_dir;
+use rths_bench::{export_trace, peak_rss_kb, results_dir};
+use rths_obs as obs;
 use rths_sim::{
     AllocationPolicy, BandwidthSpec, MultiChannelConfig, MultiChannelSystem, SimConfig, System,
 };
@@ -156,6 +164,11 @@ fn run_once(s: &Scenario) -> (f64, f64) {
 }
 
 fn main() {
+    obs::init_from_env();
+    if obs::enabled() {
+        obs::begin_run("bench_sim");
+        println!("rths_obs tracing enabled — throughput numbers are not baseline-comparable");
+    }
     let quick = std::env::var("RTHS_BENCH_QUICK").is_ok_and(|v| v != "0");
     let large = std::env::var("RTHS_BENCH_LARGE").is_ok_and(|v| v != "0");
     // Unset → default grid; an explicit RTHS_THREADS=1 means "sequential
@@ -179,8 +192,16 @@ fn main() {
         if quick { ", quick mode" } else { "" }
     );
     println!(
-        "\n{:<15} {:>6} {:>8} {:>9} {:>8} | {:>8} {:>13} {:>10}",
-        "engine", "peers", "helpers", "channels", "epochs", "threads", "epochs/sec", "speedup"
+        "\n{:<15} {:>6} {:>8} {:>9} {:>8} | {:>8} {:>13} {:>10} {:>12}",
+        "engine",
+        "peers",
+        "helpers",
+        "channels",
+        "epochs",
+        "threads",
+        "epochs/sec",
+        "speedup",
+        "peakRSS(MB)"
     );
 
     let mut json = String::from("{\n");
@@ -203,6 +224,10 @@ fn main() {
             });
         }
 
+        // Peak RSS right after the scenario's runs — same monotone
+        // high-water-mark convention as bench_net (grid runs
+        // smallest-first, so the first scenario to raise it owns it).
+        let rss_kb = peak_rss_kb();
         let baseline = runs[0].epochs_per_sec;
         let identical = runs
             .iter()
@@ -218,12 +243,17 @@ fn main() {
             } else {
                 print!("{:<15} {:>6} {:>8} {:>9} {:>8} |", "", "", "", "", "");
             }
-            println!(
+            print!(
                 " {:>8} {:>13.1} {:>9.2}x",
                 r.threads,
                 r.epochs_per_sec,
                 r.epochs_per_sec / baseline
             );
+            if ri + 1 == runs.len() {
+                println!(" {:>12.0}", rss_kb as f64 / 1024.0);
+            } else {
+                println!();
+            }
         }
         assert!(identical, "parallel output diverged from sequential in {}", s.engine);
 
@@ -233,6 +263,7 @@ fn main() {
         let _ = writeln!(json, "      \"helpers\": {},", s.helpers);
         let _ = writeln!(json, "      \"channels\": {},", s.channels);
         let _ = writeln!(json, "      \"epochs\": {},", s.epochs);
+        let _ = writeln!(json, "      \"peak_rss_kb\": {rss_kb},");
         let _ = writeln!(json, "      \"identical_output\": {identical},");
         let _ = writeln!(json, "      \"speedup_best\": {best_speedup:.4},");
         let _ = writeln!(json, "      \"runs\": [");
@@ -258,4 +289,8 @@ fn main() {
     let mut file = std::fs::File::create(&path).expect("can create BENCH_sim.json");
     file.write_all(json.as_bytes()).expect("can write BENCH_sim.json");
     println!("\nall outputs identical across thread counts; json: {}", path.display());
+    if obs::enabled() {
+        let (jsonl, chrome) = export_trace(&obs::take_report());
+        println!("trace: {} | {}", jsonl.display(), chrome.display());
+    }
 }

@@ -9,7 +9,8 @@
 //!
 //! * `BENCH_sim`: scenarios are matched by
 //!   `(engine, peers, helpers, channels)` and compared per thread count
-//!   on `epochs_per_sec`.
+//!   on `epochs_per_sec`; recorded peak RSS regressions warn but never
+//!   fail, exactly as on the net path.
 //! * `BENCH_net`: scenarios are matched by `(peers, helpers, actors)`
 //!   and compared per backend on `actors_per_sec` **and** (when both
 //!   reports carry it) `construct_actors_per_sec`, so a mesh-construction
@@ -160,6 +161,24 @@ fn main() {
                     fresh_eps,
                     (1.0 - ratio) * 100.0
                 ));
+            }
+        }
+        // Peak RSS: warn-only (same policy as the net path) — memory is
+        // tracked for the trajectory, throughput is the gate. Skipped
+        // when either report predates the field (recorded as 0).
+        if base_scenario.peak_rss_kb > 0 && fresh_scenario.peak_rss_kb > 0 {
+            let rss_ratio =
+                fresh_scenario.peak_rss_kb as f64 / base_scenario.peak_rss_kb as f64;
+            if rss_ratio > 1.0 + max_regression {
+                println!(
+                    "WARN: {} peers={} peak RSS {} MB -> {} MB (+{:.0}%) — memory regression \
+                     (warn-only; throughput is the gate)",
+                    base_scenario.engine,
+                    base_scenario.peers,
+                    base_scenario.peak_rss_kb / 1024,
+                    fresh_scenario.peak_rss_kb / 1024,
+                    (rss_ratio - 1.0) * 100.0
+                );
             }
         }
     }

@@ -7,11 +7,23 @@
 //!   truncated cumulatively (CI smoke runs set a small budget here).
 //! * `RTHS_RESULTS_DIR` — where `<name>_welfare.csv` and
 //!   `<name>_regret.csv` land (default `results/`).
+//! * `RTHS_TRACE=1` (or a spec's `trace = true` knob) enables `rths_obs`
+//!   tracing: the run additionally writes `<name>_trace.jsonl` and a
+//!   Chrome-loadable `<name>_trace.json`, both validated on export.
+//!   Traced runs are bit-identical to untraced ones.
+//!
+//! The welfare CSV always carries the per-epoch phase-timing column
+//! group (`us_<phase>` for every `rths_obs::Phase`, in declaration
+//! order); the columns are zero when tracing is off.
 
-use rths_bench::{print_series, sample_points, write_csv};
+use std::collections::BTreeMap;
+
+use rths_bench::{export_trace, print_series, sample_points, write_csv};
+use rths_obs::{self as obs, TraceReport};
 use rths_sim::ScenarioSpec;
 
 fn main() {
+    obs::init_from_env();
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
         eprintln!("usage: run_scenario <spec.toml>...");
@@ -43,20 +55,31 @@ fn main() {
             spec.description(),
         );
 
+        let traced = obs::enabled() || spec.trace();
         let report = spec.run();
+        // Drained unconditionally: an untraced run yields an empty
+        // report, which pads the phase columns with zeros below.
+        let trace = obs::take_report();
 
+        let profile: BTreeMap<u64, Vec<u64>> = trace.epoch_profile().into_iter().collect();
+        let profile_headers = TraceReport::profile_headers();
+        let zeros = vec![0u64; profile_headers.len()];
+        let mut headers = vec!["epoch", "welfare_kbps", "server_load_kbps"];
+        headers.extend(profile_headers.iter().map(String::as_str));
         let welfare_rows: Vec<Vec<f64>> = report
             .welfare
             .iter()
             .zip(&report.server_load)
             .enumerate()
-            .map(|(i, (&w, &s))| vec![i as f64, w, s])
+            .map(|(i, (&w, &s))| {
+                let mut row = vec![i as f64, w, s];
+                let us = profile.get(&(i as u64)).unwrap_or(&zeros);
+                row.extend(us.iter().map(|&v| v as f64));
+                row
+            })
             .collect();
-        let welfare_csv = write_csv(
-            &format!("{}_welfare", report.name),
-            &["epoch", "welfare_kbps", "server_load_kbps"],
-            &welfare_rows,
-        );
+        let welfare_csv =
+            write_csv(&format!("{}_welfare", report.name), &headers, &welfare_rows);
 
         // Multi-channel runs don't track the internal estimator; pad the
         // column with NaN so the CSV shape is uniform across the zoo.
@@ -82,6 +105,10 @@ fn main() {
             report.welfare.iter().rev().take(20).sum::<f64>()
                 / report.welfare.len().clamp(1, 20) as f64,
         );
+        if traced {
+            let (jsonl, chrome) = export_trace(&trace);
+            println!("  trace: {} | {}", jsonl.display(), chrome.display());
+        }
         println!("  csv: {} | {}\n", welfare_csv.display(), regret_csv.display());
     }
 }

@@ -92,6 +92,132 @@ pub fn print_series(title: &str, header: (&str, &str), points: &[(usize, f64)]) 
     }
 }
 
+/// Writes `text` verbatim to `<results_dir>/<name>`; returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors (harness binaries should fail loudly).
+pub fn write_text(name: &str, text: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, text).expect("can write results file");
+    path
+}
+
+/// Structural JSON well-formedness scan: braces/brackets balanced and
+/// properly nested outside string literals, escapes honoured. Not a full
+/// parser — it is the shape check the trace-smoke CI job needs without
+/// dragging a JSON dependency into the no-registry build.
+fn json_balanced(text: &str) -> Result<(), String> {
+    let mut stack: Vec<char> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => stack.push('}'),
+            '[' => stack.push(']'),
+            '}' | ']' if stack.pop() != Some(c) => {
+                return Err(format!("unbalanced `{c}` at byte {i}"));
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string literal".to_string());
+    }
+    if let Some(open) = stack.pop() {
+        return Err(format!("unclosed scope (expected `{open}`)"));
+    }
+    Ok(())
+}
+
+/// Validates an `rths_obs` JSONL trace export: every line is one
+/// balanced JSON object carrying a recognized record key (`phase`,
+/// `counter`, `gauge`, or `hist`). Returns the line count.
+///
+/// # Errors
+///
+/// Returns the first malformed line (or "empty trace").
+pub fn validate_trace_jsonl(text: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {}: not a JSON object: {line}", i + 1));
+        }
+        json_balanced(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if !["\"phase\"", "\"counter\"", "\"gauge\"", "\"hist\""]
+            .iter()
+            .any(|k| line.contains(k))
+        {
+            return Err(format!("line {}: no recognized record key: {line}", i + 1));
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("empty trace".to_string());
+    }
+    Ok(lines)
+}
+
+/// Validates an `rths_obs` Chrome `trace_event` export: one balanced
+/// JSON document with a `traceEvents` array of complete (`"ph":"X"`)
+/// events. Returns the event count.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let text = text.trim();
+    if !text.starts_with('{') || !text.ends_with('}') {
+        return Err("not a JSON object".to_string());
+    }
+    json_balanced(text)?;
+    if !text.contains("\"traceEvents\"") {
+        return Err("missing traceEvents array".to_string());
+    }
+    let events = text.matches("\"ph\":\"X\"").count();
+    if events == 0 {
+        return Err("no complete events".to_string());
+    }
+    Ok(events)
+}
+
+/// Exports a finished [`rths_obs::TraceReport`] as
+/// `<name>_trace.jsonl` + `<name>_trace.json` (Chrome `trace_event`)
+/// under the results directory, validating both on the way out. Returns
+/// the two paths.
+///
+/// # Panics
+///
+/// Panics if the report is empty or either export fails validation —
+/// a harness that asked for a trace and got a malformed one should fail
+/// loudly, which is exactly what the `trace-smoke` CI job checks.
+pub fn export_trace(report: &rths_obs::TraceReport) -> (PathBuf, PathBuf) {
+    assert!(!report.is_empty(), "trace report `{}` is empty", report.name);
+    let jsonl = report.to_jsonl();
+    validate_trace_jsonl(&jsonl)
+        .unwrap_or_else(|e| panic!("invalid JSONL trace for `{}`: {e}", report.name));
+    let chrome = report.to_chrome_trace();
+    validate_chrome_trace(&chrome)
+        .unwrap_or_else(|e| panic!("invalid Chrome trace for `{}`: {e}", report.name));
+    let jsonl_path = write_text(&format!("{}_trace.jsonl", report.name), &jsonl);
+    let chrome_path = write_text(&format!("{}_trace.json", report.name), &chrome);
+    (jsonl_path, chrome_path)
+}
+
 /// Parsed view of a `BENCH_sim.json` throughput report — enough structure
 /// for the perf regression gate to compare two reports scenario by
 /// scenario. The format is this workspace's own (written by the
@@ -123,6 +249,11 @@ pub struct BenchSimScenario {
     /// the epoch count, so epochs/sec reads systematically low on short
     /// runs).
     pub epochs: u64,
+    /// Process peak RSS (`VmHWM`, kB) recorded right after this
+    /// scenario's runs (monotone high-water mark; the grid runs
+    /// smallest-first). 0 in reports written before the field existed or
+    /// on hosts that cannot read it.
+    pub peak_rss_kb: u64,
     /// `(threads, epochs_per_sec)` per timed run.
     pub runs: Vec<(usize, f64)>,
 }
@@ -182,6 +313,7 @@ pub fn parse_bench_sim(text: &str) -> Result<BenchSimReport, String> {
                 helpers: 0,
                 channels: 0,
                 epochs: 0,
+                peak_rss_kb: 0,
                 runs: Vec::new(),
             });
         }
@@ -207,6 +339,9 @@ pub fn parse_bench_sim(text: &str) -> Result<BenchSimReport, String> {
                 }
                 if let Some(epochs) = json_usize(line, "epochs") {
                     current.epochs = epochs as u64;
+                }
+                if let Some(rss) = json_usize(line, "peak_rss_kb") {
+                    current.peak_rss_kb = rss as u64;
                 }
             }
         }
@@ -412,6 +547,7 @@ mod tests {
       "helpers": 20,
       "channels": 1,
       "epochs": 600,
+      "peak_rss_kb": 10240,
       "identical_output": true,
       "speedup_best": 1.0000,
       "runs": [
@@ -440,10 +576,13 @@ mod tests {
         let first = &report.scenarios[0];
         assert_eq!(first.key(), ("single_channel".to_string(), 200, 20, 1));
         assert_eq!(first.epochs, 600);
+        assert_eq!(first.peak_rss_kb, 10240);
         assert_eq!(first.epochs_per_sec(2), Some(2400.0));
         assert_eq!(first.epochs_per_sec(8), None);
         assert_eq!(report.scenarios[1].channels, 16);
         assert_eq!(report.scenarios[1].epochs, 80);
+        // A second scenario without the field degrades to 0 (old report).
+        assert_eq!(report.scenarios[1].peak_rss_kb, 0);
     }
 
     #[test]
@@ -515,6 +654,39 @@ mod tests {
         if std::path::Path::new("/proc/self/status").exists() {
             assert!(rss > 0, "VmHWM should be positive, got {rss}");
         }
+    }
+
+    #[test]
+    fn trace_jsonl_validator_accepts_real_exports() {
+        let mut report = rths_obs::TraceReport::empty("unit");
+        report.counters[0] = 3;
+        let lines = validate_trace_jsonl(&report.to_jsonl()).unwrap();
+        // One line per counter and gauge (no spans or hists recorded).
+        assert!(lines >= 2, "expected counter+gauge lines, got {lines}");
+    }
+
+    #[test]
+    fn trace_jsonl_validator_rejects_garbage() {
+        assert!(validate_trace_jsonl("").is_err());
+        assert!(validate_trace_jsonl("{\"phase\":\"x\"").is_err());
+        assert!(validate_trace_jsonl("{\"unrelated\":1}").is_err());
+        assert!(validate_trace_jsonl("{\"phase\":\"a}{\"}{").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_validator_counts_events() {
+        let mut report = rths_obs::TraceReport::empty("unit");
+        report.spans.push(rths_obs::SpanRecord {
+            phase: rths_obs::Phase::Choose,
+            epoch: 0,
+            worker: 0,
+            start_ns: 10,
+            dur_ns: 20,
+        });
+        assert_eq!(validate_chrome_trace(&report.to_chrome_trace()), Ok(1));
+        assert!(validate_chrome_trace("{\"traceEvents\":[]}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}").is_err());
     }
 
     #[test]

@@ -120,6 +120,10 @@ pub struct LearnerSlab {
     stage: Vec<u64>,
     pending: Vec<u32>,
     free: Vec<u32>,
+    /// Slots handed out by [`alloc`](Self::alloc) from the free list
+    /// instead of fresh storage (observability: free-list reuse means
+    /// churn is not costing allocator traffic).
+    reuses: u64,
 }
 
 impl LearnerSlab {
@@ -153,6 +157,7 @@ impl LearnerSlab {
             stage: Vec::with_capacity(slots),
             pending: Vec::with_capacity(slots),
             free: Vec::new(),
+            reuses: 0,
         }
     }
 
@@ -197,6 +202,12 @@ impl LearnerSlab {
         self.free.len()
     }
 
+    /// Cumulative count of [`alloc`](Self::alloc) calls satisfied from
+    /// the free list (no fresh storage touched).
+    pub fn free_list_reuses(&self) -> u64 {
+        self.reuses
+    }
+
     /// Allocates a slot initialised to the uniform fresh-learner state
     /// (`T = 0`, `p = f = 1/m`, stage 0, nothing pending), reusing the
     /// most recently freed slot if one exists.
@@ -208,7 +219,10 @@ impl LearnerSlab {
         assert!(num_actions > 0, "slab slot needs at least one action");
         assert!(num_actions <= self.stride, "action count {num_actions} exceeds slab stride");
         let slot = match self.free.pop() {
-            Some(s) => s as usize,
+            Some(s) => {
+                self.reuses += 1;
+                s as usize
+            }
             None => {
                 let s = self.arity.len();
                 // Grow the backing columns only past the pre-zeroed
@@ -457,9 +471,10 @@ impl LearnerSlab {
 
     /// Decays every slot's played T columns by `keep = 1 − ε` once —
     /// the batched counterpart of the per-observe decay, for callers
-    /// that then use [`SlabCols::observe_predecayed`].
-    pub fn decay_all(&mut self, keep: f64) {
-        self.split().decay(keep);
+    /// that then use [`SlabCols::observe_predecayed`]. Returns the
+    /// number of T columns touched (observability; ignorable).
+    pub fn decay_all(&mut self, keep: f64) -> u64 {
+        self.split().decay(keep)
     }
 
     /// Largest derived regret of a slot (metrics path; allocates a small
@@ -550,12 +565,20 @@ impl SlabCols<'_> {
     /// other slot's update (disjoint state) and with this slot's own
     /// select (which reads only `probs`), so hoisting it to the top of
     /// the round leaves each slot's decay→rank-1 order intact.
-    pub fn decay(&mut self, keep: f64) {
+    ///
+    /// Returns the number of T columns touched (the popcount of the
+    /// played bitmasks) — the per-shard `slab_columns_touched`
+    /// observability counter. The count is derived state, never an
+    /// input: ignoring it changes nothing.
+    pub fn decay(&mut self, keep: f64) -> u64 {
+        let mut touched = 0u64;
         for i in 0..self.arity.len() {
             let t = self.t.row(i);
             let played = self.played.row(i);
+            touched += played.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
             decay_columns(t, played, self.stride, keep);
         }
+        touched
     }
 
     /// Samples an action from slot `i`'s strategy, recording it pending —

@@ -26,6 +26,7 @@
 use std::sync::{Arc, Mutex};
 
 use rths_core::{LearnerSlab, SlabLearner};
+use rths_obs as obs;
 use rths_reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats, SHARD_SPAN};
 use rths_sim::peer::{Peer, PeerId};
 use rths_sim::{Algorithm, AnyLearner, ImpairmentPlan};
@@ -144,6 +145,13 @@ impl CoordNode {
     fn start_epoch(&mut self, ctx: &mut Ctx<'_, NetMsg>) {
         self.machine.begin_epoch();
         let epoch = self.machine.epoch();
+        if obs::enabled() {
+            // Tag subsequent reactor-round spans (mailbox sort/deliver/
+            // drain, timer flush) with the epoch now in flight. Rounds
+            // read the tag at round start, so a round straddling the
+            // boundary carries the previous epoch's tag.
+            obs::set_epoch(epoch);
+        }
         for j in 0..self.num_helpers {
             self.control += 1;
             let delay = self.impairments.jitter_ticks(HELPER_JITTER_BASE + j as u64, epoch);
@@ -383,6 +391,7 @@ pub struct ReactorRuntime {
     helper_base: usize,
     num_helpers: usize,
     num_peers: usize,
+    trace: bool,
 }
 
 impl std::fmt::Debug for ReactorRuntime {
@@ -488,7 +497,14 @@ impl ReactorRuntime {
                 }));
             }
         }
-        Self { reactor, coordinator, helper_base, num_helpers: h, num_peers: n }
+        Self {
+            reactor,
+            coordinator,
+            helper_base,
+            num_helpers: h,
+            num_peers: n,
+            trace: config.trace,
+        }
     }
 
     /// Takes a helper offline/online (failure injection); takes effect
@@ -543,8 +559,14 @@ impl ReactorRuntime {
     }
 
     /// Runs `epochs` epochs and returns the outcome (consuming the
-    /// runtime, mirroring `NetRuntime::run`).
+    /// runtime, mirroring `NetRuntime::run`). The reactor's own rounds
+    /// record the mailbox spans and message counters, so — unlike the
+    /// threaded backend — no protocol-level totals are mirrored here.
     pub fn run(mut self, epochs: u64) -> NetOutcome {
+        let _trace_guard = self.trace.then(|| obs::scoped_enable(true));
+        if obs::enabled() {
+            obs::begin_run("net_reactor");
+        }
         self.run_epochs(epochs);
         self.finish()
     }

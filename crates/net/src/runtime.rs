@@ -21,6 +21,7 @@
 //! integration test.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use rths_obs::{self as obs, Counter, Phase};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -67,6 +68,11 @@ pub struct NetConfig {
     /// the same cost trade the simulator's `track_estimate` flag
     /// controls — so throughput benches disable it. **Default: on.**
     pub track_estimate: bool,
+    /// Enables `rths_obs` tracing for the duration of the run (epoch
+    /// spans, coordinator phase spans, message-volume counters). Tracing
+    /// never feeds back into the computation, so traced runs stay
+    /// bit-identical to untraced ones. **Default: off.**
+    pub trace: bool,
 }
 
 impl NetConfig {
@@ -85,7 +91,13 @@ impl NetConfig {
             "the decentralized runtimes require a churn-free configuration"
         );
         let impairments = sim.impairment.clone();
-        Self { sim, impairments, backend: Backend::default(), track_estimate: true }
+        Self {
+            sim,
+            impairments,
+            backend: Backend::default(),
+            track_estimate: true,
+            trace: false,
+        }
     }
 
     /// Sets the link-impairment plan (loss models, token-bucket shaping,
@@ -117,6 +129,14 @@ impl NetConfig {
     #[must_use]
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Enables/disables `rths_obs` tracing for the run (see
+    /// [`trace`](Self::trace)).
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -205,6 +225,7 @@ pub struct NetRuntime {
     coord_rx: Receiver<CoordMsg>,
     coord: CoordinatorMachine,
     counters: Arc<MessageCounters>,
+    trace: bool,
 }
 
 impl std::fmt::Debug for NetRuntime {
@@ -261,6 +282,7 @@ impl NetRuntime {
         }
 
         let coord = CoordinatorMachine::new(sim, helper_min_total);
+        let trace = config.trace;
         Self {
             tracker,
             peer_endpoints,
@@ -269,6 +291,7 @@ impl NetRuntime {
             coord_rx,
             coord,
             counters,
+            trace,
         }
     }
 
@@ -287,6 +310,10 @@ impl NetRuntime {
     /// Runs `epochs` epochs, then shuts down all actors and returns the
     /// outcome. The runtime is consumed: every thread is joined.
     pub fn run(mut self, epochs: u64) -> NetOutcome {
+        let _trace_guard = self.trace.then(|| obs::scoped_enable(true));
+        if obs::enabled() {
+            obs::begin_run("net_threaded");
+        }
         for _ in 0..epochs {
             self.step_epoch();
         }
@@ -307,20 +334,30 @@ impl NetRuntime {
 
         let epochs_done = self.coord.epochs_done();
         let (metrics, peer_mean_rates, peer_continuity) = self.coord.finalize(&peers);
-        NetOutcome {
-            epochs: epochs_done,
-            peer_mean_rates,
-            peer_continuity,
-            metrics,
-            messages: self.counters.totals(),
+        let messages = self.counters.totals();
+        if obs::enabled() {
+            // Every protocol message sent over a channel is delivered
+            // (the shutdown race drops at most trailing Rate replies,
+            // which are counted at the send site) — mirror the totals
+            // into both counters.
+            let sent = messages.control + messages.data;
+            obs::counter_add(Counter::MessagesEnqueued, sent);
+            obs::counter_add(Counter::MessagesDelivered, sent);
         }
+        NetOutcome { epochs: epochs_done, peer_mean_rates, peer_continuity, metrics, messages }
     }
 
     fn step_epoch(&mut self) {
         let h = self.tracker.num_helpers();
         let epoch = self.coord.epoch();
+        if obs::enabled() {
+            obs::set_epoch(epoch);
+        }
+        let t_epoch = obs::span_start();
         self.coord.begin_epoch();
 
+        // Phase 1: tick every actor, then wait for all peers to commit.
+        let t_choose = obs::span_start();
         for j in 0..h {
             self.counters.control();
             self.tracker.helper(j).send(HelperMsg::Tick { epoch }).expect("helper actor alive");
@@ -329,8 +366,6 @@ impl NetRuntime {
             self.counters.control();
             tx.send(PeerMsg::Tick { epoch }).expect("peer actor alive");
         }
-
-        // Phase 1: all peers commit.
         while !self.coord.settle_ready() {
             match self.coord_rx.recv().expect("actors alive") {
                 CoordMsg::Selected { peer, helper, epoch: e } => {
@@ -340,8 +375,12 @@ impl NetRuntime {
                 other => unreachable!("unexpected message in selection phase: {other:?}"),
             }
         }
+        if let Some(t) = t_choose {
+            obs::span_end(Phase::Choose, epoch, t);
+        }
 
         // Phase 2: helpers settle.
+        let t_settle = obs::span_start();
         for j in 0..h {
             self.counters.control();
             self.tracker
@@ -363,6 +402,12 @@ impl NetRuntime {
             }
         }
         self.coord.finish_epoch();
+        if let Some(t) = t_settle {
+            obs::span_end(Phase::Settle, epoch, t);
+        }
+        if let Some(t) = t_epoch {
+            obs::span_end(Phase::Epoch, epoch, t);
+        }
     }
 }
 

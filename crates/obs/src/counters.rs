@@ -1,0 +1,179 @@
+//! Counters, gauges, and the thread-affine scratch they accumulate in.
+//!
+//! Like [`Phase`](crate::Phase), the counter and gauge sets are closed
+//! enums so every export has the same shape. Counters are additive
+//! (merge = sum); gauges are high-water marks (merge = max). Both
+//! operations are commutative and associative over `u64`, so reduced
+//! totals are identical regardless of merge order — the *span* buffers
+//! are where merge order matters, and those are merged in worker-index
+//! order (see [`SpanBuf`](crate::SpanBuf)).
+
+use crate::span::SpanBuf;
+
+/// An additive event counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Messages staged for delivery (reactor sends + timer posts).
+    MessagesEnqueued,
+    /// Messages handed to an actor's `on_message`.
+    MessagesDelivered,
+    /// Mailbox-ring reallocations (a batch exceeded ring capacity).
+    RingGrowEvents,
+    /// Learner-slab columns touched by batched decay/observe kernels.
+    SlabColumnsTouched,
+    /// Learner-slab rows recycled from the free list instead of grown.
+    FreeListReuse,
+    /// Regret-ledger stretch closes (arm switches, window folds,
+    /// migrations).
+    StretchFolds,
+}
+
+impl Counter {
+    /// Every counter, in canonical order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::MessagesEnqueued,
+        Counter::MessagesDelivered,
+        Counter::RingGrowEvents,
+        Counter::SlabColumnsTouched,
+        Counter::FreeListReuse,
+        Counter::StretchFolds,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = 6;
+
+    /// Stable snake_case name used in every export format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MessagesEnqueued => "messages_enqueued",
+            Counter::MessagesDelivered => "messages_delivered",
+            Counter::RingGrowEvents => "ring_grow_events",
+            Counter::SlabColumnsTouched => "slab_columns_touched",
+            Counter::FreeListReuse => "free_list_reuse",
+            Counter::StretchFolds => "stretch_folds",
+        }
+    }
+
+    /// Index into [`Counter::ALL`] (and every counter-indexed array).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A high-water-mark gauge (merge = max).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Largest mailbox-ring capacity reached by any shard.
+    RingCapacityHwm,
+    /// Largest single-round message batch staged into any shard's ring.
+    RingOccupancyHwm,
+    /// Largest learner-slab row count reached by any shard's arena.
+    SlabRowsHwm,
+}
+
+impl Gauge {
+    /// Every gauge, in canonical order.
+    pub const ALL: [Gauge; Gauge::COUNT] =
+        [Gauge::RingCapacityHwm, Gauge::RingOccupancyHwm, Gauge::SlabRowsHwm];
+
+    /// Number of gauges.
+    pub const COUNT: usize = 3;
+
+    /// Stable snake_case name used in every export format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::RingCapacityHwm => "ring_capacity_hwm",
+            Gauge::RingOccupancyHwm => "ring_occupancy_hwm",
+            Gauge::SlabRowsHwm => "slab_rows_hwm",
+        }
+    }
+
+    /// Index into [`Gauge::ALL`] (and every gauge-indexed array).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Thread-affine observability scratch: one per worker/shard, owned by
+/// whatever per-shard scratch struct the host already threads through
+/// its parallel regions. Accumulation is plain (lock-free) arithmetic on
+/// owned memory; the orchestrating thread reduces every shard's scratch
+/// **in shard-index order** after the join via
+/// [`absorb_scratch`](crate::absorb_scratch).
+#[derive(Debug, Default, Clone)]
+pub struct ObsScratch {
+    /// Additive counter deltas since the last absorb.
+    pub counts: [u64; Counter::COUNT],
+    /// Gauge high-water candidates since the last absorb.
+    pub gauges: [u64; Gauge::COUNT],
+    /// Spans recorded by this worker since the last absorb.
+    pub spans: SpanBuf,
+}
+
+impl ObsScratch {
+    /// A zeroed scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to counter `c`.
+    #[inline]
+    pub fn add(&mut self, c: Counter, v: u64) {
+        self.counts[c.index()] += v;
+    }
+
+    /// Raises gauge `g` to at least `v`.
+    #[inline]
+    pub fn raise(&mut self, g: Gauge, v: u64) {
+        let slot = &mut self.gauges[g.index()];
+        if v > *slot {
+            *slot = v;
+        }
+    }
+
+    /// Whether nothing has been recorded since the last absorb.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&v| v == 0)
+            && self.gauges.iter().all(|&v| v == 0)
+            && self.spans.is_empty()
+    }
+
+    /// Zeroes the scratch (spans included).
+    pub fn clear(&mut self) {
+        self.counts = [0; Counter::COUNT];
+        self.gauges = [0; Gauge::COUNT];
+        self.spans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enums_are_index_aligned() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+
+    #[test]
+    fn scratch_accumulates_and_clears() {
+        let mut s = ObsScratch::new();
+        assert!(s.is_empty());
+        s.add(Counter::MessagesEnqueued, 3);
+        s.add(Counter::MessagesEnqueued, 4);
+        s.raise(Gauge::RingCapacityHwm, 10);
+        s.raise(Gauge::RingCapacityHwm, 7);
+        assert_eq!(s.counts[Counter::MessagesEnqueued.index()], 7);
+        assert_eq!(s.gauges[Gauge::RingCapacityHwm.index()], 10);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

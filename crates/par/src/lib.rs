@@ -507,6 +507,10 @@ where
         }
         return;
     }
+    // Span the whole fork/join region (spawn → work → join) so traces
+    // show what a parallel phase costs end to end; timing is read-only
+    // and cannot perturb shard boundaries or merge order.
+    let t_region = rths_obs::span_start();
     let (first_cols, mut rest_cols) = cols.shard_split(ranges[0].1);
     let (first_scratch, mut rest_scratch) = scratch.split_at_mut(1);
     std::thread::scope(|scope| {
@@ -533,6 +537,9 @@ where
         }
         join_all(handles);
     });
+    if let Some(t) = t_region {
+        rths_obs::span_end(rths_obs::Phase::ParDispatch, rths_obs::current_epoch(), t);
+    }
 }
 
 #[cfg(test)]

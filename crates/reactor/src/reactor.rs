@@ -38,6 +38,7 @@
 //! single bit of any trajectory (the unit tests sweep both).
 
 use crate::wheel::TimerWheel;
+use rths_obs::{self as obs, Counter, Gauge, ObsScratch, Phase};
 
 /// Actors per mailbox shard (power of two). One shard is the unit of
 /// round-parallelism: ~10³ actor-messages amortize a worker spawn, and a
@@ -150,6 +151,10 @@ struct MailShard<A: Actor> {
     sends: Vec<(ActorId, A::Msg)>,
     /// Timers scheduled by this shard's actors during the current round.
     timers: Vec<(u64, ActorId, A::Msg)>,
+    /// Ring reallocations (a batch outgrew a non-empty ring).
+    grows: u64,
+    /// Largest single batch packed into this shard's ring.
+    batch_hwm: usize,
 }
 
 impl<A: Actor> MailShard<A> {
@@ -165,6 +170,8 @@ impl<A: Actor> MailShard<A> {
             incoming: 0,
             sends: Vec::new(),
             timers: Vec::new(),
+            grows: 0,
+            batch_hwm: 0,
         }
     }
 
@@ -176,7 +183,13 @@ impl<A: Actor> MailShard<A> {
             return;
         }
         debug_assert_eq!(self.live, 0, "pack with undrained spans");
+        if self.incoming > self.batch_hwm {
+            self.batch_hwm = self.incoming;
+        }
         if self.incoming > self.ring.len() {
+            if !self.ring.is_empty() {
+                self.grows += 1;
+            }
             let cap = self.incoming.next_power_of_two();
             self.ring.clear();
             self.ring.resize_with(cap, || None);
@@ -210,6 +223,29 @@ pub struct ReactorStats {
     pub messages: u64,
     /// Timer entries fired.
     pub timers_fired: u64,
+    /// Mailbox-ring reallocations across all shards: batches that
+    /// outgrew a non-empty ring (the initial sizing of an empty ring is
+    /// not counted). Growth is a perf cliff under churn — this makes it
+    /// visible. **Layout-dependent**: varies with the shard span, unlike
+    /// the protocol counters above.
+    pub ring_grow_events: u64,
+    /// Largest mailbox-ring capacity (slots) reached by any shard.
+    /// Rings never shrink, so this is the high-water mark.
+    /// **Layout-dependent.**
+    pub ring_capacity_hwm: u64,
+    /// Largest single delivery batch (messages) packed into any shard's
+    /// ring. **Layout-dependent.**
+    pub ring_occupancy_hwm: u64,
+}
+
+impl ReactorStats {
+    /// The layout-independent protocol counters `(rounds, messages,
+    /// timers_fired)`: bit-equal at any worker count *and* any shard
+    /// span. The ring-geometry fields are excluded — they legitimately
+    /// vary with [`SHARD_SPAN`].
+    pub fn protocol(&self) -> (u64, u64, u64) {
+        (self.rounds, self.messages, self.timers_fired)
+    }
 }
 
 /// The event loop: owns every actor, the sharded mailbox rings, and the
@@ -227,8 +263,11 @@ pub struct Reactor<A: Actor> {
     staged: Vec<(ActorId, A::Msg)>,
     /// Reusable per-shard swap buffers for the merge step.
     send_batches: Vec<Vec<(ActorId, A::Msg)>>,
-    /// Per-worker scratch for the sharded round (unit payload).
-    round_scratch: Vec<()>,
+    /// Per-worker observability scratch for the sharded round (counters
+    /// and spans; zero-cost while tracing is disabled).
+    round_scratch: Vec<ObsScratch>,
+    /// Ring grow events already mirrored into `rths_obs` counters.
+    grows_reported: u64,
     wheel: TimerWheel<A::Msg>,
     now: u64,
     pending: usize,
@@ -265,6 +304,7 @@ impl<A: Actor> Reactor<A> {
             staged: Vec::new(),
             send_batches: Vec::new(),
             round_scratch: Vec::new(),
+            grows_reported: 0,
             wheel: TimerWheel::new(),
             now: 0,
             pending: 0,
@@ -304,9 +344,17 @@ impl<A: Actor> Reactor<A> {
         self.now
     }
 
-    /// Run counters so far.
+    /// Run counters so far, with the mailbox-ring internals (grow
+    /// events, capacity and batch high-water marks) aggregated over all
+    /// shards.
     pub fn stats(&self) -> ReactorStats {
-        self.stats
+        let mut s = self.stats;
+        for shard in &self.shards {
+            s.ring_grow_events += shard.grows;
+            s.ring_capacity_hwm = s.ring_capacity_hwm.max(shard.ring.len() as u64);
+            s.ring_occupancy_hwm = s.ring_occupancy_hwm.max(shard.batch_hwm as u64);
+        }
+        s
     }
 
     /// Shared access to an actor (e.g. to read results after a run).
@@ -423,7 +471,7 @@ impl<A: Actor> Reactor<A> {
                 self.stats.messages += 1;
             }
         }
-        self.stats
+        self.stats()
     }
 
     /// Executes one round: every shard drains its actors' mailbox spans
@@ -431,21 +479,30 @@ impl<A: Actor> Reactor<A> {
     /// the per-shard send buffers are merged into destination rings in
     /// sender-index order.
     fn round(&mut self) {
+        let tracing = obs::enabled();
+        let epoch = if tracing { obs::current_epoch() } else { 0 };
+        let staged_n = self.staged.len();
+        let t_pack = if staged_n > 0 { obs::span_start() } else { None };
         self.pack_staged();
+        if let Some(t) = t_pack {
+            obs::span_end(Phase::MailboxDeliver, epoch, t);
+        }
         let now = self.now;
         let actors = self.actors_total;
         let span_bits = self.span_bits;
         let num_shards = self.shards.len();
         let workers = rths_par::threads().min(num_shards).max(1);
         if self.round_scratch.len() < workers {
-            self.round_scratch.resize(workers, ());
+            self.round_scratch.resize_with(workers, ObsScratch::new);
         }
         rths_par::par_sharded(
             num_shards,
             workers,
             &mut self.shards[..],
             &mut self.round_scratch[..],
-            |range, chunk: &mut [MailShard<A>], ()| {
+            |range, chunk: &mut [MailShard<A>], scratch: &mut ObsScratch| {
+                let t_drain = obs::span_start();
+                let mut drained = 0u64;
                 for (k, shard) in chunk.iter_mut().enumerate() {
                     let base = (range.start + k) << span_bits;
                     let MailShard {
@@ -469,6 +526,7 @@ impl<A: Actor> Reactor<A> {
                         lens[local] = 0;
                         cursors[local] = 0;
                         *live -= len;
+                        drained += len as u64;
                         let mut ctx =
                             Ctx { now, me: ActorId(base + local), actors, sends, timers };
                         for k2 in 0..len {
@@ -479,8 +537,19 @@ impl<A: Actor> Reactor<A> {
                         }
                     }
                 }
+                if let Some(t) = t_drain {
+                    scratch.spans.record(Phase::MailboxDrain, t);
+                    scratch.add(Counter::MessagesDelivered, drained);
+                }
             },
         );
+        if tracing {
+            // Reduce every worker's scratch in worker-index order — the
+            // deterministic half of the span-merge contract.
+            for (i, scratch) in self.round_scratch.iter_mut().enumerate().take(workers) {
+                obs::absorb_scratch(i as u32 + 1, epoch, scratch);
+            }
+        }
         // Merge: count per destination, reserve each destination ring's
         // batch in one step, then place — iterating the send buffers in
         // shard order both times, i.e. in global sender-index order, so
@@ -488,6 +557,7 @@ impl<A: Actor> Reactor<A> {
         let bits = self.span_bits;
         let mask = self.span - 1;
         let mut delivered = 0usize;
+        let t_sort = obs::span_start();
         let mut batches = std::mem::take(&mut self.send_batches);
         batches.resize_with(num_shards, Vec::new);
         for (si, batch) in batches.iter_mut().enumerate() {
@@ -503,6 +573,10 @@ impl<A: Actor> Reactor<A> {
             s.reserve_batch();
             s.incoming = 0;
         }
+        if let Some(t) = t_sort {
+            obs::span_end(Phase::MailboxSort, epoch, t);
+        }
+        let t_place = obs::span_start();
         for (si, batch) in batches.iter_mut().enumerate() {
             for (to, msg) in batch.drain(..) {
                 self.shards[to.0 >> bits].place(to.0 & mask, msg);
@@ -512,6 +586,10 @@ impl<A: Actor> Reactor<A> {
             std::mem::swap(batch, &mut self.shards[si].sends);
         }
         self.send_batches = batches;
+        if let Some(t) = t_place {
+            obs::span_end(Phase::MailboxDeliver, epoch, t);
+        }
+        let t_timers = obs::span_start();
         for si in 0..num_shards {
             let mut timers = std::mem::take(&mut self.shards[si].timers);
             for (fire_at, to, msg) in timers.drain(..) {
@@ -519,9 +597,27 @@ impl<A: Actor> Reactor<A> {
             }
             self.shards[si].timers = timers;
         }
+        if let Some(t) = t_timers {
+            obs::span_end(Phase::TimerFlush, epoch, t);
+        }
         self.pending = delivered;
         self.stats.rounds += 1;
         self.stats.messages += delivered as u64;
+        if tracing {
+            obs::counter_add(Counter::MessagesEnqueued, (staged_n + delivered) as u64);
+            let mut grows = 0u64;
+            let mut cap = 0u64;
+            let mut occ = 0u64;
+            for s in &self.shards {
+                grows += s.grows;
+                cap = cap.max(s.ring.len() as u64);
+                occ = occ.max(s.batch_hwm as u64);
+            }
+            obs::counter_add(Counter::RingGrowEvents, grows - self.grows_reported);
+            self.grows_reported = grows;
+            obs::gauge_max(Gauge::RingCapacityHwm, cap);
+            obs::gauge_max(Gauge::RingOccupancyHwm, occ);
+        }
     }
 }
 
@@ -667,7 +763,9 @@ mod tests {
     fn identical_at_any_shard_span() {
         // The mailbox shard span is scheduling, not semantics: the same
         // mesh must produce bit-identical logs at spans 1, 4, 64 and the
-        // default — including stats (delivery accounting parity).
+        // default — including the protocol stats (delivery accounting
+        // parity). The ring-geometry stats legitimately vary with the
+        // span and are excluded (that's what `protocol()` is for).
         let run = |span: usize| {
             let mut reactor = Reactor::with_shard_span(span);
             for i in 0..100usize {
@@ -680,12 +778,82 @@ mod tests {
                 reactor.inject(ActorId(i), Hop { value: i as u64, hops: 25 });
             }
             let stats = reactor.run_until_idle();
-            (stats, reactor.into_actors().into_iter().map(|a| a.log).collect::<Vec<_>>())
+            (
+                stats.protocol(),
+                reactor.into_actors().into_iter().map(|a| a.log).collect::<Vec<_>>(),
+            )
         };
         let base = run(SHARD_SPAN);
         for span in [1usize, 4, 64] {
             assert_eq!(run(span), base, "span {span} diverged");
         }
+    }
+
+    #[test]
+    fn ring_stats_surface_capacity_and_growth() {
+        // Same fan-in shape as `ring_grows_when_a_batch_exceeds_capacity`
+        // but asserting the *stats* view: growth events and high-water
+        // marks must be visible in `ReactorStats`.
+        struct Fan {
+            sink: ActorId,
+            copies: u32,
+            log: Vec<u64>,
+        }
+        impl Actor for Fan {
+            type Msg = u64;
+            fn on_message(&mut self, v: u64, ctx: &mut Ctx<'_, u64>) {
+                if ctx.me() == self.sink {
+                    self.log.push(v);
+                } else {
+                    for c in 0..self.copies {
+                        ctx.send(self.sink, v * 1000 + c as u64);
+                    }
+                }
+            }
+        }
+        let mut reactor = Reactor::with_shard_span(8);
+        let sink = ActorId(0);
+        // Escalating fan-in: 1 copy each first, then 8 copies each — the
+        // second burst (8·8 = 64 > 8·1 rounded up to 8) must re-allocate
+        // the sink shard's ring.
+        for _ in 0..9usize {
+            reactor.add_actor(Fan { sink, copies: 1, log: Vec::new() });
+        }
+        for i in 1..9usize {
+            reactor.inject(ActorId(i), i as u64);
+        }
+        reactor.run_until_idle();
+        let before = reactor.stats();
+        assert_eq!(before.ring_grow_events, 0, "initial sizing must not count as growth");
+        assert!(before.ring_capacity_hwm >= 8, "stats missed the ring capacity");
+        assert_eq!(before.ring_occupancy_hwm, 8, "stats missed the 8-message batch");
+        for i in 1..9usize {
+            reactor.actor_mut(ActorId(i)).copies = 8;
+            reactor.inject(ActorId(i), 10 + i as u64);
+        }
+        reactor.run_until_idle();
+        let after = reactor.stats();
+        assert!(after.ring_grow_events >= 1, "re-allocation was not counted: {after:?}");
+        assert!(
+            after.ring_capacity_hwm >= 64,
+            "capacity high-water mark missed the grown ring: {after:?}"
+        );
+        assert_eq!(after.ring_occupancy_hwm, 64, "batch high-water mark wrong: {after:?}");
+        assert_eq!(reactor.actor(sink).log.len(), 8 + 64);
+    }
+
+    #[test]
+    fn ring_stats_are_cumulative_across_runs() {
+        // `run_until_idle` returns the aggregated view; a second idle
+        // call must not double-count shard-held ring stats.
+        let mut reactor = mixer_ring(4, 1);
+        reactor.inject(ActorId(0), Hop { value: 1, hops: 5 });
+        let a = reactor.run_until_idle();
+        let b = reactor.run_until_idle();
+        assert_eq!(a.ring_grow_events, b.ring_grow_events);
+        assert_eq!(a.ring_capacity_hwm, b.ring_capacity_hwm);
+        assert_eq!(a.ring_occupancy_hwm, b.ring_occupancy_hwm);
+        assert_eq!(a, reactor.stats());
     }
 
     #[test]

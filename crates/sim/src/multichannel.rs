@@ -17,6 +17,7 @@
 //! deployed multi-channel systems.
 
 use rths_core::{ConvergenceSeries, Learner};
+use rths_obs::{self as obs, Phase};
 use rths_stoch::rng::{entity_rng, seeded_rng};
 use rths_stoch::Zipf;
 
@@ -528,8 +529,19 @@ impl MultiChannelSystem {
     fn step_epoch(&mut self) {
         let h = self.helpers.len();
         let k = self.config.channels.len();
+        // Observability (bit-exact neutral — see `rths_obs` docs): tag
+        // the epoch and span the pipeline phases.
+        let ep = self.epoch;
+        if obs::enabled() {
+            obs::set_epoch(ep);
+        }
+        let t_epoch = obs::span_start();
+        let t = obs::span_start();
         for helper in &mut self.helpers {
             helper.step();
+        }
+        if let Some(t) = t {
+            obs::span_end(Phase::HelperDynamics, ep, t);
         }
 
         let n = self.peers.len();
@@ -562,6 +574,7 @@ impl MultiChannelSystem {
         // columns, so no per-epoch memset is needed.
         locals.resize(n, 0);
         globals.resize(n, 0);
+        let t = obs::span_start();
         self.peers.choose_phase(
             locals,
             globals,
@@ -574,8 +587,12 @@ impl MultiChannelSystem {
                 loads[global * k + c as usize] += 1;
             },
         );
+        if let Some(t) = t {
+            obs::span_end(Phase::Choose, ep, t);
+        }
 
         // Helper-level bandwidth allocation across channels.
+        let t = obs::span_start();
         bandwidth.clear();
         bandwidth.resize(h * k, 0.0);
         for j in 0..h {
@@ -622,12 +639,16 @@ impl MultiChannelSystem {
             }));
             join_offsets.push(join_rates.len());
         }
+        if let Some(t) = t {
+            obs::span_end(Phase::RateAlloc, ep, t);
+        }
 
         // Delivery and bandit feedback (shard-parallel). Each peer's rate
         // lands in an index-aligned slot; every order-sensitive float
         // reduction happens below in peer order, so results are
         // bit-identical at any shard count.
         delivered.resize(n, 0.0);
+        let t = obs::span_start();
         let (_, worst_emp) = {
             let globals = &*globals;
             let loads = &*loads;
@@ -653,6 +674,9 @@ impl MultiChannelSystem {
                 },
             )
         };
+        if let Some(t) = t {
+            obs::span_end(Phase::Observe, ep, t);
+        }
         let mut welfare = 0.0;
         helper_delivered.clear();
         helper_delivered.resize(h, 0.0);
@@ -671,16 +695,27 @@ impl MultiChannelSystem {
                 alloc.record(dlv);
             }
         }
+        let t = obs::span_start();
         let total_demand: f64 =
             (0..self.peers.len()).map(|i| bitrates[self.peers.channel(i)]).sum();
         let helper_min: f64 = self.helpers.iter().map(Helper::min_capacity).sum();
         let helper_now: f64 = self.helpers.iter().map(Helper::capacity).sum();
         let epoch_result =
             self.server.settle_epoch(residuals, total_demand, helper_min, helper_now);
+        if let Some(t) = t {
+            obs::span_end(Phase::Settle, ep, t);
+        }
 
+        let t = obs::span_start();
         self.welfare.push(welfare);
         self.server_load.push(epoch_result.load);
         self.worst_empirical_regret.push(worst_emp);
+        if let Some(t) = t {
+            obs::span_end(Phase::Metrics, ep, t);
+        }
+        if let Some(t) = t_epoch {
+            obs::span_end(Phase::Epoch, ep, t);
+        }
         self.epoch += 1;
     }
 

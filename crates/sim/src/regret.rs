@@ -450,6 +450,25 @@ pub fn record(
     played: usize,
     rate: f64,
 ) -> f64 {
+    let mut folds = 0u64;
+    record_counted(cols, ctx, i, channel, played, rate, &mut folds)
+}
+
+/// [`record`] with stretch-fold accounting: `folds` is incremented each
+/// time the call closes an open stretch with a row write (an arm switch
+/// or a bounded-window fold). The counter is pure observability — it is
+/// written only after the arithmetic is fully determined, so traced and
+/// untraced runs stay bit-identical.
+#[inline]
+pub fn record_counted(
+    cols: &mut LedgerCols<'_>,
+    ctx: &LedgerCtx<'_>,
+    i: usize,
+    channel: usize,
+    played: usize,
+    rate: f64,
+    folds: &mut u64,
+) -> f64 {
     let off = ctx.offsets[channel];
     let m = ctx.offsets[channel + 1] - off;
     let glen = ctx.g.len();
@@ -471,6 +490,7 @@ pub fn record(
     // bounded window (so its entry snapshot can retire from the ring).
     if cols.arm[i] != played as u32 || e - cols.entry[i] >= STRETCH_WINDOW {
         if cols.arm[i] != NO_ARM && e > cols.entry[i] {
+            *folds += 1;
             let arm = cols.arm[i] as usize;
             let entry_off = (cols.entry[i] & SLOT_MASK) as usize * glen + off;
             let now_off = (e & SLOT_MASK) as usize * glen + off;

@@ -57,6 +57,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 
+use rths_obs as obs;
 use rths_stoch::process::ChurnProcess;
 use rths_stoch::rng::{derive_seed, seeded_rng};
 
@@ -204,6 +205,9 @@ pub struct ScenarioSpec {
     population: PopulationSpec,
     impairment: ImpairmentPlan,
     phases: Vec<WorkloadPhase>,
+    /// Enable `rths_obs` tracing for the duration of [`Self::run`]
+    /// (bit-exact neutral — see the `rths_obs` determinism contract).
+    trace: bool,
 }
 
 impl ScenarioSpec {
@@ -216,6 +220,7 @@ impl ScenarioSpec {
             population: None,
             impairment: ImpairmentPlan::none(),
             phases: Vec::new(),
+            trace: false,
         }
     }
 
@@ -252,6 +257,13 @@ impl ScenarioSpec {
     /// The ordered workload phases.
     pub fn phases(&self) -> &[WorkloadPhase] {
         &self.phases
+    }
+
+    /// Whether [`Self::run`] enables `rths_obs` tracing (the TOML
+    /// `trace` key). Tracing is bit-exact neutral: the run's
+    /// trajectories are `to_bits`-identical either way.
+    pub fn trace(&self) -> bool {
+        self.trace
     }
 
     /// Total epochs over all phases.
@@ -316,7 +328,18 @@ impl ScenarioSpec {
     // -- Execution ------------------------------------------------------
 
     /// Runs the scenario to completion and reports per-epoch series.
+    ///
+    /// When the spec's `trace` flag (or an ambient `RTHS_TRACE` /
+    /// [`rths_obs::set_enabled`] state) enables tracing, the global
+    /// `rths_obs` registry is reset and named after the scenario;
+    /// collect the spans/counters with [`rths_obs::take_report`] after
+    /// this returns. Tracing never changes the trajectories — the
+    /// `obs_neutrality` suite pins `to_bits` equality.
     pub fn run(&self) -> ScenarioReport {
+        let _trace_guard = self.trace.then(|| obs::scoped_enable(true));
+        if obs::enabled() {
+            obs::begin_run(&self.name);
+        }
         match &self.population {
             PopulationSpec::Single(single) => {
                 let mut system = System::new(self.sim_config(single));
@@ -462,6 +485,9 @@ impl ScenarioSpec {
         if self.impairment != ImpairmentPlan::none() {
             root.insert("impairment".into(), Value::Table(impairment_tree(&self.impairment)));
         }
+        if self.trace {
+            root.insert("trace".into(), Value::Bool(true));
+        }
         let phases: Vec<Value> =
             self.phases.iter().map(|p| Value::Table(phase_tree(p))).collect();
         root.insert("phase".into(), Value::Array(phases));
@@ -506,6 +532,7 @@ pub struct ScenarioSpecBuilder {
     population: Option<PopulationSpec>,
     impairment: ImpairmentPlan,
     phases: Vec<WorkloadPhase>,
+    trace: bool,
 }
 
 impl ScenarioSpecBuilder {
@@ -615,6 +642,14 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Enables `rths_obs` tracing for [`ScenarioSpec::run`] (default
+    /// off). Tracing is bit-exact neutral.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Validates and returns the spec.
     ///
     /// # Errors
@@ -632,6 +667,7 @@ impl ScenarioSpecBuilder {
             population,
             impairment: self.impairment,
             phases: self.phases,
+            trace: self.trace,
         };
         spec.validate()?;
         Ok(spec)
@@ -928,6 +964,7 @@ fn parse_spec(root: &Tbl) -> Result<ScenarioSpec, ScenarioError> {
             "multichannel",
             "impairment",
             "phase",
+            "trace",
         ],
     )?;
     let version = req(root, "", "version")?
@@ -939,6 +976,10 @@ fn parse_spec(root: &Tbl) -> Result<ScenarioSpec, ScenarioError> {
         None => String::new(),
     };
     let seed = opt_u64_or(root, "", "seed", 0)?;
+    let trace = match root.get("trace") {
+        Some(v) => as_bool(v, "trace")?,
+        None => false,
+    };
 
     let population = match (root.get("population"), root.get("multichannel")) {
         (Some(_), Some(_)) => {
@@ -978,7 +1019,7 @@ fn parse_spec(root: &Tbl) -> Result<ScenarioSpec, ScenarioError> {
         None => Vec::new(),
     };
 
-    Ok(ScenarioSpec { version, name, description, seed, population, impairment, phases })
+    Ok(ScenarioSpec { version, name, description, seed, population, impairment, phases, trace })
 }
 
 fn parse_single(tbl: &Tbl) -> Result<SingleSpec, ScenarioError> {

@@ -42,6 +42,7 @@
 use rand::rngs::StdRng;
 
 use rths_core::{Learner, LearnerSlab, RecencyMode, RthsConfig};
+use rths_obs::{self as obs, Counter, Gauge, ObsScratch, Phase};
 use rths_par::par_sharded;
 use rths_stoch::rng::entity_rng;
 
@@ -108,6 +109,11 @@ pub struct ShardScratch {
     worst_estimate: f64,
     /// Shard-local maximum of the peers' empirical regrets.
     worst_empirical: f64,
+    /// Shard-affine observability scratch (spans + counter deltas),
+    /// absorbed into the global registry in shard-index order after the
+    /// join. Only touched when tracing is enabled, so the disabled path
+    /// stays byte-identical to the pre-observability store.
+    obs: ObsScratch,
 }
 
 /// The sharded SoA peer population. See the module docs for layout and
@@ -137,6 +143,10 @@ pub struct PeerStore {
     /// departures run the slab's order-preserving compaction alongside
     /// the column compaction below.
     slab: LearnerSlab,
+    /// Slab free-list reuses already mirrored into the observability
+    /// registry (the slab's counter is cumulative; the registry wants
+    /// per-run deltas).
+    reuses_reported: u64,
     // === index-aligned SoA columns ===
     ids: Vec<u64>,
     channels: Vec<u32>,
@@ -186,6 +196,7 @@ impl PeerStore {
             shard_override: None,
             next_id: 0,
             slab: LearnerSlab::new(stride),
+            reuses_reported: 0,
             ids: Vec::new(),
             channels: Vec::new(),
             joined_at: Vec::new(),
@@ -506,7 +517,12 @@ impl PeerStore {
         // One global prefix update for the whole population, then the
         // per-peer record is O(1) amortized (an O(m) row write only when
         // a stretch closes — arm switch or window fold).
+        let tracing = obs::enabled();
+        let t_fold = obs::span_start();
         regret.advance_epoch(join_offsets, join_rates);
+        if let Some(t) = t_fold {
+            obs::span_end(Phase::RegretFold, obs::current_epoch(), t);
+        }
         let (ledger_cols, ledger_ctx) = regret.split();
         par_sharded(
             n,
@@ -522,8 +538,17 @@ impl PeerStore {
              ((learners, total, online), (served, sat, out), mut ledger, mut slab),
              s| {
                 if batch_decay {
-                    slab.decay(keep);
+                    let t_decay = obs::span_start();
+                    let touched = slab.decay(keep);
+                    if tracing {
+                        s.obs.add(Counter::SlabColumnsTouched, touched);
+                        if let Some(t) = t_decay {
+                            s.obs.spans.record(Phase::SlabDecay, t);
+                        }
+                    }
                 }
+                let t_observe = obs::span_start();
+                let mut folds = 0u64;
                 for i in 0..shard.len() {
                     let abs = shard.start + i;
                     let channel = channels[abs];
@@ -548,13 +573,14 @@ impl PeerStore {
                     // Stretch-folded true regret against the channel's
                     // counterfactual join rates (lazy arity reset on
                     // channel migration — the historical semantics).
-                    let worst = regret::record(
+                    let worst = regret::record_counted(
                         &mut ledger,
                         &ledger_ctx,
                         i,
                         channel as usize,
                         profile[abs] as usize,
                         rate,
+                        &mut folds,
                     );
                     // Shard-affine metric folds (non-negative maxima).
                     if track_estimate {
@@ -567,8 +593,26 @@ impl PeerStore {
                     s.worst_empirical = s.worst_empirical.max(worst);
                     out[i] = rate;
                 }
+                if tracing {
+                    if let Some(t) = t_observe {
+                        s.obs.spans.record(Phase::SlabObserve, t);
+                    }
+                    if folds > 0 {
+                        s.obs.add(Counter::StretchFolds, folds);
+                    }
+                }
             },
         );
+        if tracing {
+            let epoch = obs::current_epoch();
+            for (i, s) in scratch.iter_mut().enumerate().take(shards) {
+                obs::absorb_scratch(i as u32 + 1, epoch, &mut s.obs);
+            }
+            let reuses = self.slab.free_list_reuses();
+            obs::counter_add(Counter::FreeListReuse, reuses - self.reuses_reported);
+            self.reuses_reported = reuses;
+            obs::gauge_max(Gauge::SlabRowsHwm, n as u64);
+        }
         let mut worst_estimate = 0.0f64;
         let mut worst_empirical = 0.0f64;
         for s in scratch.iter().take(shards) {

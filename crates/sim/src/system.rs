@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rths_game::JointDistribution;
+use rths_obs::{self as obs, Phase};
 use rths_stoch::rng::seeded_rng;
 
 use crate::config::SimConfig;
@@ -235,16 +236,30 @@ impl System {
     /// Executes exactly one epoch.
     pub fn step_epoch(&mut self) {
         let h = self.helpers.len();
+        // Observability: tag the epoch for layers below the epoch
+        // protocol and open the whole-epoch span. Spans only read the
+        // monotonic clock into side buffers, so traced trajectories are
+        // bit-identical to untraced ones (pinned by `obs_neutrality`).
+        let ep = self.epoch;
+        if obs::enabled() {
+            obs::set_epoch(ep);
+        }
+        let t_epoch = obs::span_start();
 
         // 1. Helper bandwidth dynamics (each on its own RNG stream).
+        let t = obs::span_start();
         for helper in &mut self.helpers {
             helper.step();
+        }
+        if let Some(t) = t {
+            obs::span_end(Phase::HelperDynamics, ep, t);
         }
 
         // 2. Churn. Departure slots are drawn with the historical
         // swap-remove sequence against a mirror vector (so the master RNG
         // stream is unchanged), then removed in one order-preserving
         // compaction: survivors keep their slot order and identity.
+        let t = obs::span_start();
         let events = self.config.churn.sample_epoch(&mut self.master_rng, self.peers.len());
         if events.departures > 0 {
             let EpochScratch { alive, removing, .. } = &mut self.scratch;
@@ -259,6 +274,9 @@ impl System {
         }
         for _ in 0..events.arrivals {
             self.peers.spawn(0, self.epoch);
+        }
+        if let Some(t) = t {
+            obs::span_end(Phase::Churn, ep, t);
         }
 
         // 3. Decentralized helper selection: shard-parallel over the peer
@@ -286,14 +304,19 @@ impl System {
         // write-only here), so no per-epoch memset is needed.
         profile.resize(n, 0);
         aux.resize(n, 0);
+        let t = obs::span_start();
         self.peers.choose_phase(profile, aux, loads, h, shards, |_, choice, _, _, loads| {
             loads[choice as usize] += 1;
         });
+        if let Some(t) = t {
+            obs::span_end(Phase::Choose, ep, t);
+        }
 
         // 4-5. Rate allocation and bandit feedback. The per-peer phase
         // records each peer's rate into an index-aligned slot; all
         // order-sensitive float reductions happen afterwards in peer
         // order, so results are bit-identical at any shard count.
+        let t = obs::span_start();
         shares.clear();
         shares.extend(self.helpers.iter().zip(loads.iter()).map(|(hp, &l)| hp.share(l)));
         join_rates.clear();
@@ -307,6 +330,9 @@ impl System {
         join_offsets.clear();
         join_offsets.extend([0, h]);
         delivered.resize(n, 0.0);
+        if let Some(t) = t {
+            obs::span_end(Phase::RateAlloc, ep, t);
+        }
 
         // Link impairments (loss, per-link bandwidth caps, token-bucket
         // shaping) are applied between the helper's even split and the
@@ -315,6 +341,7 @@ impl System {
         // The token bucket is stateful, so the shaped column is computed
         // sequentially here (the observe phase's rate closure runs
         // shard-parallel and must stay pure).
+        let t = obs::span_start();
         let shaped_rates: Option<&[f64]> = if self.config.impairment.affects_rates() {
             let plan = &self.config.impairment;
             let ids = self.peers.ids();
@@ -338,7 +365,11 @@ impl System {
         } else {
             None
         };
+        if let Some(t) = t {
+            obs::span_end(Phase::Impairment, ep, t);
+        }
 
+        let t = obs::span_start();
         let (worst_est, worst_emp) = {
             let shares = &*shares;
             self.peers.observe_phase(
@@ -364,6 +395,9 @@ impl System {
                 },
             )
         };
+        if let Some(t) = t {
+            obs::span_end(Phase::Observe, ep, t);
+        }
         let mut welfare = 0.0;
         residuals.clear();
         for &rate in delivered.iter() {
@@ -380,13 +414,18 @@ impl System {
         }
 
         // 6. Server settles residual demand.
+        let t = obs::span_start();
         let total_demand = demand.unwrap_or(0.0) * self.peers.len() as f64;
         let helper_min: f64 = self.helpers.iter().map(Helper::min_capacity).sum();
         let helper_now: f64 = self.helpers.iter().map(Helper::capacity).sum();
         let server_epoch =
             self.server.settle_epoch(residuals, total_demand, helper_min, helper_now);
+        if let Some(t) = t {
+            obs::span_end(Phase::Settle, ep, t);
+        }
 
         // 7. Metrics.
+        let t = obs::span_start();
         self.metrics.welfare.push(welfare);
         self.metrics.server_load.push(server_epoch.load);
         self.metrics.min_deficit.push(server_epoch.min_deficit);
@@ -409,6 +448,12 @@ impl System {
                 profile_usize.extend(profile.iter().map(|&a| a as usize));
                 joint.record(profile_usize);
             }
+        }
+        if let Some(t) = t {
+            obs::span_end(Phase::Metrics, ep, t);
+        }
+        if let Some(t) = t_epoch {
+            obs::span_end(Phase::Epoch, ep, t);
         }
         self.epoch += 1;
     }

@@ -1,0 +1,194 @@
+//! The observability layer's cardinal contract: **tracing is
+//! bit-neutral**. Enabling `rths_obs` must not change a single bit of
+//! any trajectory on any backend at any thread count — timing is read,
+//! never fed back. Each test runs the same seeded workload twice inside
+//! one `RTHS_THREADS` guard (untraced, then traced) and compares the
+//! full metric series by `f64::to_bits`, the same zero-tolerance
+//! standard `sim_net_equivalence` holds the three engines to.
+//!
+//! The traced run must also *record something* — a neutrality test
+//! against a silently disabled tracer would be vacuous — so every test
+//! asserts the drained [`rths_obs::TraceReport`] is non-empty.
+
+use std::sync::Mutex;
+
+use rths_net::{Backend, NetConfig};
+use rths_obs as obs;
+use rths_sim::{
+    AllocationPolicy, MultiChannelConfig, MultiChannelSystem, Scenario, ScenarioSpec, System,
+};
+
+/// Serializes `RTHS_THREADS` mutation *and* the global obs enable flag
+/// across this binary's tests (both are process-global state; an
+/// interleaved traced test would contaminate another test's "untraced"
+/// run).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prior = std::env::var("RTHS_THREADS").ok();
+    std::env::set_var("RTHS_THREADS", n.to_string());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match prior {
+        Some(value) => std::env::set_var("RTHS_THREADS", value),
+        None => std::env::remove_var("RTHS_THREADS"),
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Runs `f` with tracing globally enabled, drains the registry, and
+/// asserts the run actually recorded spans or counters.
+fn traced<R>(tag: &str, f: impl FnOnce() -> R) -> R {
+    let _on = obs::scoped_enable(true);
+    let result = f();
+    let report = obs::take_report();
+    assert!(
+        !report.is_empty(),
+        "{tag}: traced run recorded nothing — neutrality test is vacuous"
+    );
+    assert!(!report.spans.is_empty(), "{tag}: traced run recorded no spans");
+    result
+}
+
+/// Bit-pattern view of a float series: equality here is exact.
+fn bits(series: &[f64]) -> Vec<u64> {
+    series.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn sim_system_is_bit_neutral_under_tracing() {
+    for threads in [1usize, 2] {
+        with_threads(threads, || {
+            let run = || System::new(Scenario::paper_small().seed(41).build()).run(60);
+            let plain = run();
+            let shadow = traced(&format!("sim RTHS_THREADS={threads}"), run);
+            assert_eq!(plain.epochs, shadow.epochs);
+            assert_eq!(
+                bits(plain.metrics.welfare.values()),
+                bits(shadow.metrics.welfare.values()),
+                "welfare diverged under tracing at RTHS_THREADS={threads}"
+            );
+            assert_eq!(
+                bits(plain.metrics.server_load.values()),
+                bits(shadow.metrics.server_load.values()),
+                "server load diverged under tracing at RTHS_THREADS={threads}"
+            );
+            assert_eq!(
+                bits(plain.metrics.worst_empirical_regret.values()),
+                bits(shadow.metrics.worst_empirical_regret.values()),
+                "regret diverged under tracing at RTHS_THREADS={threads}"
+            );
+            assert_eq!(
+                bits(plain.metrics.jain.values()),
+                bits(shadow.metrics.jain.values()),
+                "Jain fairness diverged under tracing at RTHS_THREADS={threads}"
+            );
+        });
+    }
+}
+
+#[test]
+fn multichannel_system_is_bit_neutral_under_tracing() {
+    for threads in [1usize, 2] {
+        with_threads(threads, || {
+            let run = || {
+                let config = MultiChannelConfig::standard(
+                    4,
+                    400.0,
+                    8,
+                    2,
+                    120,
+                    1.2,
+                    AllocationPolicy::WaterFilling,
+                    19,
+                );
+                MultiChannelSystem::new(config).run(25)
+            };
+            let plain = run();
+            let shadow = traced(&format!("multichannel RTHS_THREADS={threads}"), run);
+            assert_eq!(
+                bits(plain.welfare.values()),
+                bits(shadow.welfare.values()),
+                "multi-channel welfare diverged under tracing at RTHS_THREADS={threads}"
+            );
+            assert_eq!(
+                bits(plain.server_load.values()),
+                bits(shadow.server_load.values()),
+                "multi-channel server load diverged under tracing at RTHS_THREADS={threads}"
+            );
+        });
+    }
+}
+
+#[test]
+fn threaded_backend_is_bit_neutral_under_tracing() {
+    for threads in [1usize, 2] {
+        with_threads(threads, || {
+            let sim = Scenario::paper_small().seed(43).build();
+            let plain = rths_net::run(NetConfig::from_sim(sim.clone()), 40);
+            // The `with_trace` config knob (rather than ambient enable)
+            // exercises the runtime's own scoped guard.
+            let shadow = traced(&format!("threaded RTHS_THREADS={threads}"), || {
+                rths_net::run(NetConfig::from_sim(sim.clone()).with_trace(true), 40)
+            });
+            assert_eq!(
+                bits(plain.metrics.welfare.values()),
+                bits(shadow.metrics.welfare.values()),
+                "threaded welfare diverged under tracing at RTHS_THREADS={threads}"
+            );
+            assert_eq!(
+                plain.messages, shadow.messages,
+                "threaded message totals diverged under tracing at RTHS_THREADS={threads}"
+            );
+        });
+    }
+}
+
+#[test]
+fn reactor_backend_is_bit_neutral_under_tracing() {
+    for threads in [1usize, 2] {
+        with_threads(threads, || {
+            let sim = Scenario::paper_small().seed(44).build();
+            let config = || NetConfig::from_sim(sim.clone()).with_backend(Backend::Reactor);
+            let plain = rths_net::run(config(), 40);
+            let shadow = traced(&format!("reactor RTHS_THREADS={threads}"), || {
+                rths_net::run(config().with_trace(true), 40)
+            });
+            assert_eq!(
+                bits(plain.metrics.welfare.values()),
+                bits(shadow.metrics.welfare.values()),
+                "reactor welfare diverged under tracing at RTHS_THREADS={threads}"
+            );
+            assert_eq!(
+                plain.messages, shadow.messages,
+                "reactor message totals diverged under tracing at RTHS_THREADS={threads}"
+            );
+        });
+    }
+}
+
+#[test]
+fn scenario_spec_run_is_bit_neutral_under_tracing() {
+    // The zoo path covers churn, impairments, and the spec-level trace
+    // plumbing in one go.
+    with_threads(2, || {
+        let spec = ScenarioSpec::load("scenarios/flash_crowd_spike.toml")
+            .expect("zoo spec parses")
+            .with_epoch_cap(40);
+        let plain = spec.run();
+        let shadow = traced("scenario spec", || spec.run());
+        assert_eq!(
+            bits(&plain.welfare),
+            bits(&shadow.welfare),
+            "scenario welfare diverged under tracing"
+        );
+        assert_eq!(
+            bits(&plain.worst_empirical_regret),
+            bits(&shadow.worst_empirical_regret),
+            "scenario regret diverged under tracing"
+        );
+    });
+}
