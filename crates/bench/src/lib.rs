@@ -6,6 +6,8 @@
 //! plotting. `src/bin/all_figures.rs` runs the full set; EXPERIMENTS.md
 //! records the measured numbers against the paper's claims.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
@@ -691,10 +693,13 @@ mod tests {
 
     #[test]
     fn csv_written_to_results() {
-        std::env::set_var("RTHS_RESULTS_DIR", std::env::temp_dir().join("rths-test-results"));
-        let p = write_csv("unit_test", &["a", "b"], &[vec![1.0, 2.0]]);
-        let content = std::fs::read_to_string(p).unwrap();
+        // Routed through the sanctioned env guard: a bare set_var here
+        // raced any concurrently running test that reads the results dir.
+        let dir = std::env::temp_dir().join("rths-test-results");
+        let content = rths_par::env::with_var("RTHS_RESULTS_DIR", dir.to_str(), || {
+            let p = write_csv("unit_test", &["a", "b"], &[vec![1.0, 2.0]]);
+            std::fs::read_to_string(p).unwrap()
+        });
         assert!(content.starts_with("a,b\n1,2"));
-        std::env::remove_var("RTHS_RESULTS_DIR");
     }
 }

@@ -61,6 +61,8 @@
 //! # Ok::<(), rths_core::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod compact;
 pub mod config;
 pub mod driver;

@@ -34,6 +34,8 @@
 //! assert!(!trace.converged);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod best_response;
 pub mod congestion;
 pub mod equilibrium;

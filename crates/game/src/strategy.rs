@@ -1,6 +1,6 @@
 //! Mixed strategies and joint (correlated) distributions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -117,9 +117,16 @@ impl MixedStrategy {
 ///
 /// Stored sparsely: only observed profiles are kept, which is what makes
 /// CE verification tractable for hundreds of players.
+///
+/// The support is a `BTreeMap` so [`iter`](Self::iter) and
+/// [`marginal`](Self::marginal) walk profiles in lexicographic order —
+/// any float reduction folded over the support is therefore independent
+/// of the insertion history (a `HashMap` here fed hash-order, i.e.
+/// nondeterminism, into downstream sums; the workspace determinism lint
+/// now bans hash collections from state-feeding crates outright).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct JointDistribution {
-    counts: HashMap<Vec<usize>, u64>,
+    counts: BTreeMap<Vec<usize>, u64>,
     total: u64,
 }
 
@@ -271,6 +278,27 @@ mod tests {
         assert_eq!(d.prob(&[0]), 0.0);
         let m = d.marginal(0, 3);
         assert_eq!(m.probs(), &[1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn support_iterates_in_lexicographic_profile_order() {
+        // Two distributions built from opposite insertion orders must
+        // expose the identical (sorted) support sequence: iteration
+        // order is a function of the *profiles*, never of history.
+        let profiles = [vec![2, 0], vec![0, 1], vec![1, 1], vec![0, 0], vec![1, 0], vec![0, 1]];
+        let forward: JointDistribution = profiles.iter().cloned().collect();
+        let backward: JointDistribution = profiles.iter().rev().cloned().collect();
+        let order: Vec<Vec<usize>> = forward.iter().map(|(p, _)| p.to_vec()).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted, "support must iterate in lexicographic order");
+        let backward_order: Vec<Vec<usize>> =
+            backward.iter().map(|(p, _)| p.to_vec()).collect();
+        assert_eq!(order, backward_order, "iteration order depended on insertion order");
+        // And the probabilities ride along identically, bit for bit.
+        let probs: Vec<u64> = forward.iter().map(|(_, p)| p.to_bits()).collect();
+        let backward_probs: Vec<u64> = backward.iter().map(|(_, p)| p.to_bits()).collect();
+        assert_eq!(probs, backward_probs);
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! The `lint` binary: walks a workspace tree, prints diagnostics, and
+//! optionally writes the machine-readable JSON report.
+//!
+//! ```text
+//! cargo run -p rths_lint --bin lint -- [--json <path>] [--rules] [<root>]
+//! ```
+//!
+//! * `<root>` defaults to the current directory (CI runs from the repo
+//!   root).
+//! * `--json <path>` writes the report JSON (also honoured via the
+//!   `RTHS_LINT_JSON` environment variable, flag wins).
+//! * `--rules` prints the rule table and exits.
+//!
+//! Exit codes: `0` clean, `1` violations / stale allows / malformed
+//! allows, `2` usage or I/O error — so CI can gate on the plain exit
+//! status.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json_path = std::env::var("RTHS_LINT_JSON").ok().map(PathBuf::from);
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("lint: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for rule in rths_lint::ALL_RULES {
+                    println!("{:<14} {}", rule.id(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: lint [--json <path>] [--rules] [<root>]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("lint: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+
+    let report = match rths_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("lint: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for diag in report.violations.iter().chain(&report.bad_allows).chain(&report.stale_allows) {
+        println!("{diag}");
+    }
+
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("report: {}", path.display());
+    }
+
+    println!(
+        "lint: {} files, {} violation(s), {} suppressed by allow, {} stale allow(s), \
+         {} malformed allow(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len(),
+        report.stale_allows.len(),
+        report.bad_allows.len()
+    );
+    if report.is_clean() {
+        println!("lint: clean — the bit-equivalence contract holds statically");
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: FAILED — fix the sites above or justify with `// rths: allow(<rule>): <why>`");
+        ExitCode::from(1)
+    }
+}

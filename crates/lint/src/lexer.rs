@@ -1,0 +1,466 @@
+//! A hand-rolled Rust lexer, just deep enough to lint on.
+//!
+//! The rule engine needs exactly two things a `grep` cannot give it:
+//! **identifier tokens with line numbers** (so `set_var` inside a string
+//! literal, a comment, or a raw string never fires a rule) and **the
+//! comment stream** (so `// SAFETY:` and `// rths: allow(...)` comments
+//! can be associated with the code lines they annotate). Everything else
+//! — numeric literal grammar, operator splitting, keyword
+//! classification — is deliberately loose: a banned name is a banned
+//! name whether it lexes as a keyword or an identifier.
+//!
+//! What *is* handled precisely, because getting it wrong produces false
+//! positives or (worse) false negatives:
+//!
+//! * string literals with escapes (`"a \" set_var"`),
+//! * raw strings with any hash depth (`r#"..."#`, `br##"..."##`) — no
+//!   escape processing, terminated only by a quote followed by the
+//!   opening hash count,
+//! * byte strings and byte char literals (`b"..."`, `b'\''`),
+//! * line and **nested** block comments (Rust block comments nest),
+//! * doc-vs-plain comment classification (`///`, `//!`, `/**`, `/*!`) —
+//!   allow-comments are only recognized in plain comments, so prose
+//!   *describing* the escape-hatch syntax can never arm it,
+//! * raw identifiers (`r#unsafe` is an identifier named `unsafe`, not
+//!   the `unsafe` keyword),
+//! * char literals vs lifetimes (`'a'` vs `'a`, including `'\''`).
+
+/// A lexed token: the classification plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A plain identifier or keyword (`set_var`, `unsafe`, `HashMap`).
+    Ident(String),
+    /// A raw identifier: `r#name` (never matches keyword-based rules).
+    RawIdent(String),
+    /// A single punctuation character (`::` is two `:` puncts).
+    Punct(char),
+    /// Any literal; the payload text is irrelevant to every rule.
+    Literal(Lit),
+}
+
+/// Literal flavor (kept for lexer tests; rules ignore all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lit {
+    Str,
+    RawStr,
+    ByteStr,
+    Char,
+    Num,
+    Lifetime,
+}
+
+/// A comment with its delimiters stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Text between the delimiters (after `//` / inside `/* */`).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (== `line` for line comments).
+    pub end_line: u32,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+}
+
+/// The full lex of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The identifier name at token index `i`, if that token is a plain
+    /// (non-raw) identifier.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.tokens.get(i) {
+            Some(Token { kind: Tok::Ident(name), .. }) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether token `i` is the punctuation character `c`.
+    pub fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.tokens.get(i), Some(Token { kind: Tok::Punct(p), .. }) if *p == c)
+    }
+}
+
+/// Lexes `src`, never failing: malformed input (unterminated literals,
+/// stray punctuation) degrades to best-effort tokens rather than an
+/// error, because a linter must keep scanning the rest of the tree.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), i: 0, line: 1, out: Lexed::default() }.run()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    /// Consumes one char, counting newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Tok, line: u32) {
+        self.out.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(Lit::Str),
+                '\'' => self.quote(),
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                c if c.is_ascii_digit() => self.number(),
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        // `///` and `//!` are doc comments; `////...` is plain again.
+        let doc = match self.peek(0) {
+            Some('!') => true,
+            Some('/') => self.peek(1) != Some('/'),
+            _ => false,
+        };
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line, end_line: line, doc });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        // `/**` and `/*!` are doc comments, except the empty `/**/`.
+        let doc = match self.peek(0) {
+            Some('!') => true,
+            Some('*') => self.peek(1) != Some('/'),
+            _ => false,
+        };
+        let mut text = String::new();
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let end_line = self.line;
+        self.out.comments.push(Comment { text, line, end_line, doc });
+    }
+
+    /// An escape-aware double-quoted literal (plain or byte string);
+    /// assumes the cursor sits on the opening quote.
+    fn string(&mut self, kind: Lit) {
+        let line = self.line;
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Tok::Literal(kind), line);
+    }
+
+    /// A raw (byte) string: cursor on the opening quote, `hashes` already
+    /// consumed. No escapes; ends at `"` followed by `hashes` `#`s.
+    fn raw_string(&mut self, hashes: usize, kind: Lit) {
+        let line = self.line;
+        self.bump();
+        while let Some(c) = self.bump() {
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::Literal(kind), line);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal);
+    /// cursor on the opening quote.
+    fn quote(&mut self) {
+        let line = self.line;
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: consume up to the closing quote.
+            self.bump(); // '
+            self.bump(); // backslash
+            self.bump(); // escaped char
+            while let Some(c) = self.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(Tok::Literal(Lit::Char), line);
+            return;
+        }
+        if self.peek(1).is_some_and(is_ident_start) {
+            // Scan the identifier run after the quote: a closing quote
+            // right after it means a char literal, otherwise a lifetime.
+            let mut k = 2;
+            while self.peek(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            if self.peek(k) == Some('\'') {
+                for _ in 0..=k {
+                    self.bump();
+                }
+                self.push(Tok::Literal(Lit::Char), line);
+            } else {
+                self.bump(); // '
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(Tok::Literal(Lit::Lifetime), line);
+            }
+            return;
+        }
+        // `'('`, `'"'`, … — a one-char literal of a non-ident char.
+        self.bump(); // '
+        self.bump(); // the char
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        self.push(Tok::Literal(Lit::Char), line);
+    }
+
+    /// An identifier, unless it is the prefix of a raw string (`r"`,
+    /// `r#"`), raw identifier (`r#name`), byte string (`b"`), byte char
+    /// (`b'`), or raw byte string (`br"`, `br#"`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let word: String = self.chars[start..self.i].iter().collect();
+        match (word.as_str(), self.peek(0)) {
+            ("r", Some('"')) => self.raw_string(0, Lit::RawStr),
+            ("br", Some('"')) => self.raw_string(0, Lit::RawStr),
+            ("r" | "br", Some('#')) => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes, Lit::RawStr);
+                } else if word == "r" && self.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier: r#name.
+                    self.bump(); // #
+                    let name_start = self.i;
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    let name: String = self.chars[name_start..self.i].iter().collect();
+                    self.push(Tok::RawIdent(name), line);
+                } else {
+                    self.push(Tok::Ident(word), line);
+                }
+            }
+            ("b", Some('"')) => self.string(Lit::ByteStr),
+            ("b", Some('\'')) => self.quote(),
+            _ => self.push(Tok::Ident(word), line),
+        }
+    }
+
+    /// Loose numeric literal: consumes alphanumerics/underscores, a dot
+    /// only when followed by a digit (so `0..n` stays a range), and an
+    /// exponent sign right after `e`/`E`.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut prev = '0';
+        while let Some(c) = self.peek(0) {
+            let keep = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E'));
+            if !keep {
+                break;
+            }
+            prev = c;
+            self.bump();
+        }
+        self.push(Tok::Literal(Lit::Num), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn banned_names_inside_strings_are_not_idents() {
+        let src = r#"let x = "std::env::set_var(\"a\", b) and HashMap";"#;
+        assert_eq!(idents(src), ["let", "x"]);
+    }
+
+    #[test]
+    fn banned_names_inside_comments_are_not_idents() {
+        let src =
+            "// set_var here\n/* HashMap /* nested Instant::now */ thread_rng */\nfn f() {}";
+        assert_eq!(idents(src), ["fn", "f"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].text.contains("nested Instant::now"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_their_contents() {
+        let src = r###"const A: &str = r#"quote " then set_var"#; fn g() {}"###;
+        assert_eq!(idents(src), ["const", "A", "str", "fn", "g"]);
+        // A quote+hash inside a deeper raw string does not terminate it.
+        let src2 = "const B: &str = r##\"inner \"# still OsRng inside\"##; fn h() {}";
+        assert_eq!(idents(src2), ["const", "B", "str", "fn", "h"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_lex_as_literals() {
+        let src = "const A: &[u8] = b\"set_var\"; const B: u8 = b'\\''; fn f() {}";
+        assert_eq!(idents(src), ["const", "A", "u8", "const", "B", "u8", "fn", "f"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_the_keyword() {
+        let lexed = lex("fn r#unsafe() {} fn r#type() {}");
+        let raw: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::RawIdent(name) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(raw, ["unsafe", "type"]);
+        assert!(!idents("fn r#unsafe() {}").contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let lexed = lex("fn f<'a>(x: &'a u64) -> char { 'x' } const Q: char = '\\'';");
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                Tok::Literal(l) => Some(l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, [Lit::Lifetime, Lit::Lifetime, Lit::Char, Lit::Char]);
+        // `'static` in statics: lifetime, not an unterminated char.
+        assert_eq!(idents("fn g(x: &'static str) {}"), ["fn", "g", "x", "str"]);
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let lexed = lex("/// doc\n//! inner doc\n// plain\n//// plain again\n/** doc */\n/*! doc */\n/* plain */\n/**/");
+        let docs: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, [true, true, false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "const A: &str = \"line\nbreak\";\n/* two\nlines */\nfn f() {}\n";
+        let lexed = lex(src);
+        let f = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, Tok::Ident(n) if n == "fn"))
+            .expect("fn token");
+        assert_eq!(f.line, 5);
+        let block = &lexed.comments[0];
+        assert_eq!((block.line, block.end_line), (3, 4));
+    }
+
+    #[test]
+    fn ranges_do_not_glue_to_numbers() {
+        let src = "for i in 0..n { let x = 1.5e-3; }";
+        assert_eq!(idents(src), ["for", "i", "in", "n", "let", "x"]);
+        let lexed = lex(src);
+        let dots = lexed.tokens.iter().filter(|t| matches!(t.kind, Tok::Punct('.'))).count();
+        assert_eq!(dots, 2, "0..n must lex as Num, '.', '.', Ident");
+    }
+}

@@ -1,0 +1,164 @@
+//! Diagnostics and the machine-readable JSON report.
+//!
+//! The JSON writer is hand-rolled (the no-registry build bans external
+//! crates) and emits a fixed, versioned shape so CI tooling can consume
+//! the artifact without guessing:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "root": "…", "files_scanned": 87, "clean": true,
+//!   "rules": [{"id": "env-mutation", "summary": "…"}, …],
+//!   "violations":   [{"file": "…", "line": 3, "rule": "…", "message": "…"}, …],
+//!   "suppressed":   […],
+//!   "stale_allows": […],
+//!   "bad_allows":   […]
+//! }
+//! ```
+
+use crate::rules::ALL_RULES;
+
+/// One `file:line:rule` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule id (`env-mutation`, …, or the meta rules
+    /// `stale-allow` / `allow-syntax`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The aggregated outcome of linting a workspace tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// The root the walk started from, as given.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Violations that survived suppression — any entry fails the run.
+    pub violations: Vec<Diagnostic>,
+    /// Violations suppressed by a valid, justified allow comment.
+    pub suppressed: Vec<Diagnostic>,
+    /// Allow comments that suppressed nothing — fail the run (the
+    /// self-check that rejects rotted escape hatches).
+    pub stale_allows: Vec<Diagnostic>,
+    /// Malformed allow comments — fail the run.
+    pub bad_allows: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// A run passes only with zero violations, zero stale allows, and
+    /// zero malformed allows.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_allows.is_empty() && self.bad_allows.is_empty()
+    }
+
+    /// Serializes the report (stable shape, see module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"root\": \"{}\",\n", esc(&self.root)));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"rules\": [\n");
+        for (i, rule) in ALL_RULES.into_iter().enumerate() {
+            let comma = if i + 1 < ALL_RULES.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"summary\": \"{}\"}}{comma}\n",
+                rule.id(),
+                esc(rule.summary())
+            ));
+        }
+        out.push_str("  ],\n");
+        push_diag_array(&mut out, "violations", &self.violations, ",");
+        push_diag_array(&mut out, "suppressed", &self.suppressed, ",");
+        push_diag_array(&mut out, "stale_allows", &self.stale_allows, ",");
+        push_diag_array(&mut out, "bad_allows", &self.bad_allows, "");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn push_diag_array(out: &mut String, key: &str, diags: &[Diagnostic], trailing: &str) {
+    if diags.is_empty() {
+        out.push_str(&format!("  \"{key}\": []{trailing}\n"));
+        return;
+    }
+    out.push_str(&format!("  \"{key}\": [\n"));
+    for (i, d) in diags.iter().enumerate() {
+        let comma = if i + 1 < diags.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}\n",
+            esc(&d.file),
+            d.line,
+            d.rule,
+            esc(&d.message)
+        ));
+    }
+    out.push_str(&format!("  ]{trailing}\n"));
+}
+
+/// JSON string escaping: backslash, quote, and control characters.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let report = LintReport {
+            root: "a\\b".to_string(),
+            files_scanned: 2,
+            violations: vec![Diagnostic {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                rule: "wall-clock",
+                message: "uses \"quotes\"\nand a newline".to_string(),
+            }],
+            ..LintReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"root\": \"a\\\\b\""));
+        assert!(json.contains("\\\"quotes\\\"\\nand a newline"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"stale_allows\": []"));
+        // Every rule appears in the rules table.
+        for rule in ALL_RULES {
+            assert!(json.contains(rule.id()), "missing rule {} in table", rule.id());
+        }
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let report = LintReport { root: ".".into(), ..LintReport::default() };
+        assert!(report.is_clean());
+        assert!(report.to_json().contains("\"clean\": true"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Deterministic workspace walker.
+//!
+//! Collects every `.rs` file under the root in **sorted path order**
+//! (so diagnostics and the JSON report are byte-stable run to run),
+//! skipping trees that are not workspace source:
+//!
+//! * `target/` — build output,
+//! * `vendor/` — offline stand-ins for crates.io dependencies (excluded
+//!   from the workspace; they are third-party idiom, not our contract),
+//! * `.git/` and every other dot-directory,
+//! * any `tests/fixtures/` directory — lint fixtures *contain* seeded
+//!   violations on purpose and are test data, never compiled.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Returns every lintable `.rs` file under `root`, sorted.
+pub fn workspace_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    visit(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn visit(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name.starts_with('.') || name == "target" || name == "vendor" {
+                continue;
+            }
+            if name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests") {
+                continue;
+            }
+            visit(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_skips_vendor_target_and_fixture_dirs() {
+        // The lint crate's own tree is the probe: its tests/fixtures
+        // directory exists and holds .rs files, none of which may be
+        // collected; src/*.rs must all be there, sorted.
+        let crate_root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = workspace_rs_files(crate_root).unwrap();
+        assert!(!files.is_empty());
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order must be sorted");
+        for f in &files {
+            let s = f.to_string_lossy().replace('\\', "/");
+            assert!(!s.contains("/tests/fixtures/"), "fixture file collected: {s}");
+        }
+        assert!(files.iter().any(|f| f.ends_with("src/lexer.rs")));
+        assert!(files.iter().any(|f| f.ends_with("src/bin/lint.rs")));
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: malformed allows — each is an `allow-syntax` diagnostic and
+// suppresses nothing, so the SystemTime uses below still fire.
+
+// rths: allow(wall-clock)
+pub fn a() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+// rths: allow(not-a-rule): the rule id does not exist at all.
+pub fn b() -> u64 {
+    9
+}
+
+// rths: allow(wall-clock): short
+pub fn c() -> u64 {
+    11
+}

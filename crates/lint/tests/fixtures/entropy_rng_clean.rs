@@ -1,0 +1,9 @@
+// Fixture: R4 must stay silent — seed-derived streams only.
+
+use rand::SeedableRng;
+
+pub fn stream(run_seed: u64, entity: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(run_seed ^ entity.rotate_left(17))
+}
+
+pub const WHY: &str = "thread_rng and from_entropy cannot replay a run";

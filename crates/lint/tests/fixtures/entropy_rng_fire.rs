@@ -1,0 +1,15 @@
+// Fixture: R4 must fire three times — thread_rng line 5, from_entropy
+// line 9, OsRng line 13.
+
+pub fn roll() -> u64 {
+    rand::thread_rng().gen()
+}
+
+pub fn fresh() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}
+
+pub fn os_backed() -> u8 {
+    let _rng = rand::rngs::OsRng;
+    0
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified allow suppresses R1 (one suppressed, zero
+// violations, zero stale).
+
+pub fn legacy_bootstrap() {
+    // rths: allow(env-mutation): fixture exercising the escape hatch end to end.
+    std::env::set_var("RTHS_FIXTURE_ONLY", "1");
+}

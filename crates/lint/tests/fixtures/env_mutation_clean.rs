@@ -1,0 +1,9 @@
+// Fixture: R1 must stay silent — the sanctioned guard is named, the
+// banned symbol appears only in comments and string literals.
+
+/// Pins a variable through the serialized guard (never call set_var).
+pub fn configure<R>(f: impl FnOnce() -> R) -> R {
+    rths_par::env::with_var("RTHS_THREADS", Some("2"), f)
+}
+
+pub const POLICY: &str = "std::env::set_var is banned; remove_var too";

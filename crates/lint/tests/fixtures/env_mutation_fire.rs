@@ -1,0 +1,9 @@
+// Fixture: R1 must fire twice (set_var line 4, remove_var line 8).
+
+pub fn configure(threads: usize) {
+    std::env::set_var("RTHS_THREADS", threads.to_string());
+}
+
+pub fn reset() {
+    std::env::remove_var("RTHS_THREADS");
+}

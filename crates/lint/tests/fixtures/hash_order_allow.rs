@@ -1,0 +1,9 @@
+// Fixture: a justified allow suppresses R2 for the use declaration.
+
+// rths: allow(hash-order): fixture — scratch set is drained unordered, order never observed.
+use std::collections::HashSet;
+
+pub fn distinct(xs: &[u32]) -> usize {
+    let set: std::collections::BTreeSet<u32> = xs.iter().copied().collect();
+    set.len()
+}

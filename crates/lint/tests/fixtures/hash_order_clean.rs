@@ -1,0 +1,14 @@
+// Fixture: R2 must stay silent — BTreeMap iterates deterministically,
+// and "HashMap" appears only inside this comment and a string.
+
+use std::collections::BTreeMap;
+
+pub fn count(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub const WHY: &str = "a HashMap here would feed hash order into state";

@@ -1,0 +1,11 @@
+// Fixture: R2 must fire three times — HashMap on lines 3, 5, and 6.
+
+use std::collections::HashMap;
+
+pub fn count(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,22 @@
+//! Fixture: every banned name below sits inside a string, raw string,
+//! comment, or raw identifier — the whole file must lint clean. Doc
+//! comments may even mention std::env::set_var and HashMap iteration.
+
+pub const PLAIN: &str = "set_var inside a plain string with \\\" escape";
+pub const RAW: &str = r#"raw string with "quotes", thread_rng, and a // fake comment"#;
+pub const DEEP: &str = r##"deeper raw: HashMap, a "# fake close, SystemTime"##;
+pub const BYTES: &[u8] = b"bytes mentioning from_entropy and remove_var";
+pub const QUOTE: char = '"';
+pub const ESCAPED: char = '\'';
+
+/* block comment with SystemTime
+   /* nested: Instant::now() and OsRng */
+   still inside the outer comment: HashSet */
+pub fn lifetimes<'a>(x: &'a u64) -> &'a u64 {
+    // line comment: unsafe { set_var } is not code
+    x
+}
+
+pub fn r#unsafe() -> u64 {
+    0
+}

@@ -1,0 +1,7 @@
+// Fixture: the self-check must flag this — the allow below suppresses
+// nothing (the clock read it once justified is long gone).
+
+// rths: allow(wall-clock): nothing below reads the clock anymore, this rotted.
+pub fn pure() -> u64 {
+    7
+}

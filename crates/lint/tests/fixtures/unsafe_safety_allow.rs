@@ -1,0 +1,7 @@
+// Fixture: a justified allow suppresses R5 (grandfathered block whose
+// safety argument lives in the module docs instead).
+
+pub fn read(p: *const u8) -> u8 {
+    // rths: allow(unsafe-safety): fixture — safety argument documented at module level.
+    unsafe { *p }
+}

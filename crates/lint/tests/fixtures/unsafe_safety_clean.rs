@@ -1,0 +1,11 @@
+// Fixture: R5 must stay silent — the unsafe block is documented, and
+// `r#unsafe` is an identifier, not the keyword.
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture — the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn r#unsafe() -> u8 {
+    7
+}

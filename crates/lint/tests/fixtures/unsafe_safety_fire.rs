@@ -1,0 +1,5 @@
+// Fixture: R5 must fire — an unsafe block with no SAFETY comment.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

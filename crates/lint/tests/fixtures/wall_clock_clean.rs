@@ -1,0 +1,12 @@
+// Fixture: R3 must stay silent — logical time only, and the `Instant`
+// type without `::now` is just a value being carried around.
+
+pub fn advance(tick: u64) -> u64 {
+    tick + 1
+}
+
+pub fn keep(origin: std::time::Instant) -> std::time::Instant {
+    origin
+}
+
+pub const NOTE: &str = "Instant::now and SystemTime are fine in strings";

@@ -1,0 +1,10 @@
+// Fixture: R3 must fire three times — Instant::now on line 5,
+// SystemTime on lines 8 (return type) and 9 (call).
+
+pub fn elapsed_marker() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

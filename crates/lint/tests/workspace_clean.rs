@@ -1,0 +1,38 @@
+//! The lint must pass on the repository itself: zero violations, zero
+//! stale or malformed allows. This is the same check CI runs via the
+//! `lint` binary; keeping it as a cargo test means `cargo test -q`
+//! alone already enforces the contract.
+
+use std::path::Path;
+
+#[test]
+fn repository_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = rths_lint::lint_workspace(&root).expect("walk workspace");
+
+    assert!(
+        report.files_scanned > 40,
+        "walker found only {} files — skip rules are too aggressive",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "determinism lint failed:\n{}",
+        report
+            .violations
+            .iter()
+            .chain(&report.stale_allows)
+            .chain(&report.bad_allows)
+            .map(|d| format!("  {d}\n"))
+            .collect::<String>()
+    );
+
+    // The bit-equivalence contract is enforced, not suppressed: the two
+    // rules that guard it directly must have no escape hatches in use.
+    for d in &report.suppressed {
+        assert!(
+            d.rule != "env-mutation" && d.rule != "hash-order",
+            "suppressed core rule: {d}"
+        );
+    }
+}

@@ -28,6 +28,8 @@
 //! # Ok::<(), rths_lp::LpError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod problem;
 mod simplex;
 mod solution;

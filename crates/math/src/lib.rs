@@ -26,6 +26,8 @@
 //! assert_eq!(t[(1, 0)], 3.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod assert;
 pub mod ewma;
 pub mod kernels;

@@ -39,6 +39,8 @@
 //! assert!(alloc.loads.iter().all(|&l| l > 0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod assignment;
 pub mod benchmark;
 pub mod finite;

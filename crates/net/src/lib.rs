@@ -59,6 +59,8 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod fault;
 pub mod machines;
 pub mod message;

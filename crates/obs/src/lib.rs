@@ -53,6 +53,8 @@
 //! [`scoped_enable`] so a traced run inside a larger process restores
 //! the prior state on drop.
 
+#![forbid(unsafe_code)]
+
 mod counters;
 mod hist;
 mod phase;

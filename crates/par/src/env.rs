@@ -1,0 +1,102 @@
+//! The **one sanctioned place** in the workspace that mutates the
+//! process environment.
+//!
+//! `std::env::set_var` is process-global and unsynchronized with respect
+//! to concurrent `getenv` calls, so under the multithreaded test harness
+//! a bare call is a data race waiting for an unlucky schedule (PR 4
+//! fixed exactly such a race, and the pattern crept back three times
+//! since — which is why the determinism lint's `env-mutation` rule now
+//! bans `set_var`/`remove_var` everywhere *except this module*). Tests
+//! and benches that genuinely need an environment variable visible to
+//! threads they spawn (e.g. `RTHS_THREADS` read by a reactor worker,
+//! where the thread-local [`with_threads`](crate::with_threads) override
+//! cannot reach) must route through [`with_var`]: one global mutex
+//! serializes every mutation-and-restore window in the process, so two
+//! guarded regions can never interleave and a reader outside any guarded
+//! region sees only the ambient value.
+//!
+//! This serializes, it does not desanitize: a *different* thread calling
+//! `std::env::var` concurrently still races the mutation itself. The
+//! contract that makes the guard sound in this workspace is that every
+//! env-reading code path under test runs **inside** the closure, and
+//! every env-writing path runs **through this module** — the half the
+//! compiler cannot check is exactly what `rths_lint` checks.
+
+use std::sync::Mutex;
+
+/// Serializes every environment mutation in the process. Held across the
+/// whole set → run → restore window, so guarded regions never observe
+/// each other's values.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the environment variable `key` set to `value`
+/// (`None` = removed), restoring the prior value afterwards — also on
+/// panic, before the panic resumes.
+///
+/// The global guard also makes `with_var` a convenient serialization
+/// point for *other* process-global state a test touches in the same
+/// closure (the obs-neutrality suite keys its global trace flag off the
+/// same critical section).
+///
+/// Nested calls from inside `f` on the same thread would deadlock (the
+/// lock is not reentrant); set both variables from one call site
+/// instead, or widen the outer closure.
+pub fn with_var<R>(key: &str, value: Option<&str>, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prior = std::env::var(key).ok();
+    apply(key, value);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    apply(key, prior.as_deref());
+    match result {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// The workspace's single `set_var`/`remove_var` site (see module docs;
+/// the determinism lint sanctions exactly this file).
+fn apply(key: &str, value: Option<&str>) {
+    match value {
+        Some(v) => std::env::set_var(key, v),
+        None => std::env::remove_var(key),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One obscure probe variable per test: the suite runs multithreaded,
+    // and distinct keys keep the assertions independent of scheduling
+    // even though the guard already serializes the mutation windows.
+
+    #[test]
+    fn sets_inside_and_restores_after() {
+        let key = "RTHS_ENV_GUARD_TEST_SET";
+        assert!(std::env::var(key).is_err());
+        let seen = with_var(key, Some("42"), || std::env::var(key).unwrap());
+        assert_eq!(seen, "42");
+        assert!(std::env::var(key).is_err(), "variable leaked past its scope");
+    }
+
+    #[test]
+    fn remove_then_restore() {
+        // `with_var` is non-reentrant, so the "prior value exists" case
+        // is staged with the module-internal `apply` rather than nesting.
+        let key = "RTHS_ENV_GUARD_TEST_REMOVE";
+        apply(key, Some("outer"));
+        let seen = with_var(key, None, || std::env::var(key).is_err());
+        assert!(seen, "None should remove the variable");
+        assert_eq!(std::env::var(key).unwrap(), "outer", "prior value not restored");
+        apply(key, None);
+    }
+
+    #[test]
+    fn restores_on_panic() {
+        let key = "RTHS_ENV_GUARD_TEST_PANIC";
+        let result =
+            std::panic::catch_unwind(|| with_var(key, Some("boom"), || panic!("boom")));
+        assert!(result.is_err());
+        assert!(std::env::var(key).is_err(), "variable leaked past a panic");
+    }
+}

@@ -47,6 +47,10 @@
 //! assert_eq!(squares, vec![1, 4, 9]);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod env;
+
 /// For the fine-grained per-entity primitives ([`par_chunks_mut`],
 /// [`par_zip_mut`]), inputs with fewer items than this run inline even
 /// when `RTHS_THREADS` asks for parallelism: thread spawn costs tens of

@@ -72,6 +72,8 @@
 //! assert_eq!(reactor.now(), 3); // three timer hops
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod reactor;
 mod wheel;
 

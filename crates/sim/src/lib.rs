@@ -36,6 +36,8 @@
 //! assert_eq!(outcome.metrics.mean_peer_rates.len(), 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod churn;
 pub mod config;

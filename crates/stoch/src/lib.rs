@@ -30,6 +30,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bandwidth;
 pub mod markov;
 pub mod process;

@@ -70,6 +70,7 @@ fn main() {
         .seed(42)
         .build();
     let config = NetConfig::from_sim(sim).with_backend(Backend::Reactor);
+    // rths: allow(wall-clock): demo prints wall time; never feeds simulation state.
     let start = std::time::Instant::now();
     let mut runtime = ReactorRuntime::new(config);
     runtime.run_epochs(epochs);

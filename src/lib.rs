@@ -13,6 +13,8 @@
 //! * [`rths_par`] — the deterministic data-parallel runtime;
 //! * [`rths_stoch`], [`rths_lp`], [`rths_math`] — supporting substrates.
 
+#![forbid(unsafe_code)]
+
 pub use rths_core as core;
 pub use rths_game as game;
 pub use rths_lp as lp;

@@ -10,33 +10,20 @@
 //! against a silently disabled tracer would be vacuous — so every test
 //! asserts the drained [`rths_obs::TraceReport`] is non-empty.
 
-use std::sync::Mutex;
-
 use rths_net::{Backend, NetConfig};
 use rths_obs as obs;
 use rths_sim::{
     AllocationPolicy, MultiChannelConfig, MultiChannelSystem, Scenario, ScenarioSpec, System,
 };
 
-/// Serializes `RTHS_THREADS` mutation *and* the global obs enable flag
-/// across this binary's tests (both are process-global state; an
-/// interleaved traced test would contaminate another test's "untraced"
-/// run).
-static ENV_LOCK: Mutex<()> = Mutex::new(());
-
+/// Pins `RTHS_THREADS` for the duration of `f` via the workspace's one
+/// sanctioned env-mutation helper ([`rths_par::env::with_var`]). Its
+/// process-wide guard doubles as the serialization point for the global
+/// obs enable flag: every test in this binary runs its untraced *and*
+/// traced passes inside one `with_threads` window, so an interleaved
+/// traced test can never contaminate another test's "untraced" run.
 fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-    let prior = std::env::var("RTHS_THREADS").ok();
-    std::env::set_var("RTHS_THREADS", n.to_string());
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-    match prior {
-        Some(value) => std::env::set_var("RTHS_THREADS", value),
-        None => std::env::remove_var("RTHS_THREADS"),
-    }
-    match result {
-        Ok(value) => value,
-        Err(payload) => std::panic::resume_unwind(payload),
-    }
+    rths_par::env::with_var("RTHS_THREADS", Some(&n.to_string()), f)
 }
 
 /// Runs `f` with tracing globally enabled, drains the registry, and

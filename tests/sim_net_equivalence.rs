@@ -12,28 +12,16 @@
 //! between `rths-sim`, `rths-net`'s threaded backend, and its reactor
 //! backend fails it.
 
-use std::sync::Mutex;
-
 use rths_net::{Backend, NetConfig, NetOutcome};
 use rths_sim::{BandwidthSpec, ImpairmentPlan, Scenario, SimConfig, System};
 
-/// Serializes `RTHS_THREADS` mutation across this binary's tests
-/// (process-global state).
-static ENV_LOCK: Mutex<()> = Mutex::new(());
-
+/// Pins `RTHS_THREADS` for the duration of `f` via the workspace's one
+/// sanctioned env-mutation helper ([`rths_par::env::with_var`]): the
+/// backends' spawned worker threads read the variable themselves, so the
+/// thread-local `rths_par::with_threads` override cannot reach them, and
+/// a bare `set_var` here would race the other tests in this binary.
 fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
-    let _guard = ENV_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-    let prior = std::env::var("RTHS_THREADS").ok();
-    std::env::set_var("RTHS_THREADS", n.to_string());
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-    match prior {
-        Some(value) => std::env::set_var("RTHS_THREADS", value),
-        None => std::env::remove_var("RTHS_THREADS"),
-    }
-    match result {
-        Ok(value) => value,
-        Err(payload) => std::panic::resume_unwind(payload),
-    }
+    rths_par::env::with_var("RTHS_THREADS", Some(&n.to_string()), f)
 }
 
 /// Bit-pattern view of a float series: equality here is exact, with no
