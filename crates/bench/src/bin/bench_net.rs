@@ -14,6 +14,11 @@
 //! **20,000 actors** in one process (thread-per-actor would need 20k OS
 //! threads, so that point records no threaded run) and, with
 //! `RTHS_BENCH_LARGE=1`, to **100,000 actors** at a fixed epoch count.
+//! At the ≥2×10⁴-actor points the grid also times the **multi-process
+//! reactor** (`rths_net::run_multiproc`) at 2 and 4 OS processes —
+//! recorded as backends `multiproc2`/`multiproc4` with per-process peak
+//! RSS aggregated as `rss_total_kb` (sum) and `rss_max_kb`, since the
+//! workers' high-water marks never show up in the parent's `VmHWM`.
 //! The per-shard learner slabs (`rths_core::slab`) plus the
 //! stretch-folded `O(n·h)` regret ledger (`rths_sim::regret`) and the
 //! reactor's per-shard mailbox rings are what keep 10⁵ `PeerMachine`s
@@ -80,12 +85,24 @@ impl Scenario {
 
 /// One timed run.
 struct Run {
-    backend: &'static str,
+    backend: String,
     threads: usize,
-    construct_secs: f64,
-    construct_actors_per_sec: f64,
+    /// OS processes hosting the mesh (1 for the in-process backends).
+    processes: usize,
+    /// `(secs, actors/sec)` of mesh construction. `None` for the
+    /// multi-process backend, where spawning workers, the config
+    /// handshake, and partition construction all overlap inside the
+    /// measured run.
+    construct: Option<(f64, f64)>,
     secs: f64,
     actors_per_sec: f64,
+    /// `(sum, max)` of per-process peak RSS (`VmHWM`, kB) for
+    /// multi-process runs: the children's high-water marks are invisible
+    /// in the parent's `/proc/self/status`, so the scenario-level figure
+    /// alone would undercount a sharded run by roughly
+    /// `(processes-1)/processes`. `None` for in-process runs, which the
+    /// scenario-level mark covers.
+    rss_kb: Option<(u64, u64)>,
     welfare_checksum: f64,
 }
 
@@ -132,6 +149,10 @@ fn time_backend(s: &Scenario, backend: Backend) -> (f64, f64, NetOutcome) {
     let rt = match backend {
         Backend::Threaded => Built::Threaded(rths_net::NetRuntime::new(cfg)),
         Backend::Reactor => Built::Reactor(rths_net::ReactorRuntime::new(cfg)),
+        // Multi-process runs go through `time_multiproc`: construction
+        // overlaps the worker handshake, so the split timing here does
+        // not apply.
+        Backend::Multiproc { .. } => unreachable!("multiproc is timed by time_multiproc"),
     };
     let build_secs = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
@@ -141,6 +162,30 @@ fn time_backend(s: &Scenario, backend: Backend) -> (f64, f64, NetOutcome) {
     };
     let secs = t1.elapsed().as_secs_f64();
     (build_secs, secs, out)
+}
+
+/// Process counts measured for the multi-process reactor at the grid
+/// points large enough to shard meaningfully (≥ [`MULTIPROC_MIN_ACTORS`]
+/// actors — tens of shards at the default span).
+const MULTIPROC_PROCESSES: [usize; 2] = [2, 4];
+
+/// Smallest grid point that gets multi-process runs.
+const MULTIPROC_MIN_ACTORS: usize = 20_000;
+
+fn time_multiproc(s: &Scenario, processes: usize) -> Run {
+    let t0 = Instant::now();
+    let report = rths_net::run_multiproc(config(s), s.epochs, processes);
+    let secs = t0.elapsed().as_secs_f64();
+    Run {
+        backend: format!("multiproc{processes}"),
+        threads: rths_par::threads(),
+        processes,
+        construct: None,
+        secs,
+        actors_per_sec: (s.actors() as u64 * s.epochs) as f64 / secs.max(1e-12),
+        rss_kb: Some((report.total_rss_kb(), report.max_rss_kb())),
+        welfare_checksum: report.outcome.metrics.welfare.values().iter().sum(),
+    }
 }
 
 fn main() {
@@ -189,12 +234,16 @@ fn main() {
         if threaded_ok {
             let (construct_secs, secs, out) = time_backend(s, Backend::Threaded);
             runs.push(Run {
-                backend: "threaded",
+                backend: "threaded".to_string(),
                 threads: 1, // one coordinator thread drives; actors are their own threads
-                construct_secs,
-                construct_actors_per_sec: s.actors() as f64 / construct_secs.max(1e-12),
+                processes: 1,
+                construct: Some((
+                    construct_secs,
+                    s.actors() as f64 / construct_secs.max(1e-12),
+                )),
                 secs,
                 actors_per_sec: (s.actors() as u64 * s.epochs) as f64 / secs.max(1e-12),
+                rss_kb: None,
                 welfare_checksum: out.metrics.welfare.values().iter().sum(),
             });
         } else {
@@ -212,14 +261,20 @@ fn main() {
         }
         let (construct_secs, secs, out) = time_backend(s, Backend::Reactor);
         runs.push(Run {
-            backend: "reactor",
+            backend: "reactor".to_string(),
             threads,
-            construct_secs,
-            construct_actors_per_sec: s.actors() as f64 / construct_secs.max(1e-12),
+            processes: 1,
+            construct: Some((construct_secs, s.actors() as f64 / construct_secs.max(1e-12))),
             secs,
             actors_per_sec: (s.actors() as u64 * s.epochs) as f64 / secs.max(1e-12),
+            rss_kb: None,
             welfare_checksum: out.metrics.welfare.values().iter().sum(),
         });
+        if s.actors() >= MULTIPROC_MIN_ACTORS {
+            for processes in MULTIPROC_PROCESSES {
+                runs.push(time_multiproc(s, processes));
+            }
+        }
 
         // Peak RSS right after the scenario's runs. VmHWM is a process
         // high-water mark (monotone); the grid runs smallest-first, so
@@ -236,9 +291,18 @@ fn main() {
             }
             print!(
                 " {:>9} {:>8} {:>9.3} {:>9.3} {:>14.0}",
-                r.backend, r.threads, r.construct_secs, r.secs, r.actors_per_sec
+                r.backend,
+                r.threads,
+                r.construct.map_or(0.0, |(cs, _)| cs),
+                r.secs,
+                r.actors_per_sec
             );
-            if ri + 1 == runs.len() {
+            if let Some((total, max)) = r.rss_kb {
+                // Summed over the worker processes (max per process in
+                // parentheses) — the scenario-level VmHWM below only
+                // sees the parent.
+                println!(" {:>8.0}Σ ({:.0})", total as f64 / 1024.0, max as f64 / 1024.0);
+            } else if ri + 1 == runs.len() {
                 println!(" {:>12.0}", rss_kb as f64 / 1024.0);
             } else {
                 println!();
@@ -255,17 +319,28 @@ fn main() {
         let _ = writeln!(json, "      \"identical_output\": {identical},");
         let _ = writeln!(json, "      \"runs\": [");
         for (ri, r) in runs.iter().enumerate() {
+            let mut line = format!(
+                "        {{\"backend\": \"{}\", \"threads\": {}, \"processes\": {}",
+                r.backend, r.threads, r.processes
+            );
+            if let Some((construct_secs, construct_aps)) = r.construct {
+                let _ = write!(
+                    line,
+                    ", \"construct_secs\": {construct_secs:.6}, \
+                     \"construct_actors_per_sec\": {construct_aps:.3}"
+                );
+            }
+            let _ = write!(
+                line,
+                ", \"secs\": {:.6}, \"actors_per_sec\": {:.3}",
+                r.secs, r.actors_per_sec
+            );
+            if let Some((total, max)) = r.rss_kb {
+                let _ = write!(line, ", \"rss_total_kb\": {total}, \"rss_max_kb\": {max}");
+            }
             let _ = writeln!(
                 json,
-                "        {{\"backend\": \"{}\", \"threads\": {}, \"construct_secs\": {:.6}, \
-                 \"construct_actors_per_sec\": {:.3}, \"secs\": {:.6}, \
-                 \"actors_per_sec\": {:.3}, \"welfare_checksum\": {:.6}}}{}",
-                r.backend,
-                r.threads,
-                r.construct_secs,
-                r.construct_actors_per_sec,
-                r.secs,
-                r.actors_per_sec,
+                "{line}, \"welfare_checksum\": {:.6}}}{}",
                 r.welfare_checksum,
                 if ri + 1 < runs.len() { "," } else { "" }
             );

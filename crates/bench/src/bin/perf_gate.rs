@@ -319,6 +319,23 @@ fn gate_net(
                     ));
                 }
             }
+            // Multi-process runs carry their own aggregated RSS (the
+            // children never show in the scenario-level parent VmHWM):
+            // same warn-only policy as the scenario figure.
+            if let (Some(base_rss), Some(fresh_rss)) =
+                (base_run.rss_total_kb, fresh_run.rss_total_kb)
+            {
+                if base_rss > 0 && fresh_rss as f64 > base_rss as f64 * (1.0 + max_regression) {
+                    println!(
+                        "WARN: {} actors {backend} summed RSS {} MB -> {} MB (+{:.0}%) — \
+                         memory regression (warn-only; throughput is the gate)",
+                        base_scenario.actors,
+                        base_rss / 1024,
+                        fresh_rss / 1024,
+                        (fresh_rss as f64 / base_rss as f64 - 1.0) * 100.0
+                    );
+                }
+            }
         }
         // Peak RSS: warn-only. A >threshold rise on a matched scenario
         // is worth eyes, never a red build.

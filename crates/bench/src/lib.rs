@@ -410,15 +410,26 @@ pub struct BenchNetScenario {
 /// One timed run of a [`BenchNetScenario`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchNetRun {
-    /// Backend name (`threaded` / `reactor`).
+    /// Backend name (`threaded` / `reactor` / `multiprocN`).
     pub backend: String,
     /// Worker threads the run used.
     pub threads: usize,
+    /// OS processes hosting the mesh; `None` in reports written before
+    /// the multi-process backend existed (always 1 then).
+    pub processes: Option<usize>,
     /// Epoch throughput (actor-epochs per second).
     pub actors_per_sec: f64,
     /// Mesh-construction throughput (actors per second), `None` in
-    /// reports written before construction was recorded.
+    /// reports written before construction was recorded and for
+    /// multi-process runs (construction overlaps the worker handshake
+    /// there).
     pub construct_actors_per_sec: Option<f64>,
+    /// Summed per-process peak RSS (kB) of a multi-process run; `None`
+    /// for in-process runs, which the scenario-level `peak_rss_kb`
+    /// covers.
+    pub rss_total_kb: Option<u64>,
+    /// Largest single-process peak RSS (kB) of a multi-process run.
+    pub rss_max_kb: Option<u64>,
 }
 
 impl BenchNetScenario {
@@ -474,8 +485,11 @@ pub fn parse_bench_net(text: &str) -> Result<BenchNetReport, String> {
             current.runs.push(BenchNetRun {
                 backend,
                 threads,
+                processes: json_usize(line, "processes"),
                 actors_per_sec: aps,
                 construct_actors_per_sec: json_f64(line, "construct_actors_per_sec"),
+                rss_total_kb: json_usize(line, "rss_total_kb").map(|v| v as u64),
+                rss_max_kb: json_usize(line, "rss_max_kb").map(|v| v as u64),
             });
             continue;
         }
@@ -620,7 +634,8 @@ mod tests {
       "peak_rss_kb": 4194304,
       "identical_output": true,
       "runs": [
-        {"backend": "reactor", "threads": 1, "secs": 10.0, "actors_per_sec": 80000.0, "welfare_checksum": 2.0}
+        {"backend": "reactor", "threads": 1, "secs": 10.0, "actors_per_sec": 80000.0, "welfare_checksum": 2.0},
+        {"backend": "multiproc2", "threads": 1, "processes": 2, "secs": 6.0, "actors_per_sec": 133333.0, "rss_total_kb": 4800000, "rss_max_kb": 2500000, "welfare_checksum": 2.0}
       ]
     }
   ]
@@ -640,6 +655,15 @@ mod tests {
         assert_eq!(first.construct_actors_per_sec("reactor"), Some(80000.0));
         assert_eq!(first.construct_actors_per_sec("threaded"), None);
         assert_eq!(report.scenarios[1].actors, 100000);
+        // Multi-process runs carry process counts and aggregated RSS;
+        // in-process runs (and old reports) degrade to None.
+        let large = &report.scenarios[1];
+        let mp = large.runs.iter().find(|r| r.backend == "multiproc2").unwrap();
+        assert_eq!(mp.processes, Some(2));
+        assert_eq!(mp.rss_total_kb, Some(4800000));
+        assert_eq!(mp.rss_max_kb, Some(2500000));
+        assert_eq!(large.runs[0].processes, None);
+        assert_eq!(large.runs[0].rss_total_kb, None);
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Worker process of the multi-process reactor backend. Launched by
+//! `rths_net::multiproc::run_multiproc`, never by hand: it reads its
+//! rank and the controller's socket path from the environment, hosts one
+//! partition of the actor mesh, and exits when the controller shuts the
+//! mesh down.
+
+fn main() {
+    rths_net::multiproc::worker_main();
+}

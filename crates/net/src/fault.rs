@@ -16,13 +16,14 @@
 //! Decisions are pure functions of `(seed, peer, epoch)` so faulty runs
 //! are as reproducible as clean ones.
 //!
-//! `FaultPlan` is now the **thin compatibility constructor** over the
-//! richer [`rths_sim::ImpairmentPlan`]: the runtimes consume
-//! `ImpairmentPlan` ([`crate::NetConfig::with_impairments`]) and every
-//! `FaultPlan` converts losslessly via `From` — same hash streams, so a
-//! migrated run reproduces the legacy one bit-for-bit.
+//! The runtimes themselves consume the richer
+//! [`rths_sim::ImpairmentPlan`] ([`crate::NetConfig::with_impairments`]),
+//! whose uniform-loss and jitter streams replicate these hash formulas
+//! bit-for-bit (asserted by `rths_sim::impairment`'s compatibility
+//! tests). `FaultPlan` survives as the standalone reference
+//! implementation of those formulas; nothing in the runtime path depends
+//! on it anymore.
 
-use rths_sim::ImpairmentPlan;
 use rths_stoch::rng::derive_seed;
 
 /// Deterministic fault plan.
@@ -102,26 +103,6 @@ impl Default for FaultPlan {
     }
 }
 
-/// Lossless upgrade to the unified impairment layer: uniform loss and
-/// jitter map onto the `ImpairmentPlan` streams that replicate the
-/// legacy hash formulas exactly (asserted by
-/// `rths_sim::impairment`'s compatibility tests), so
-/// `with_faults(f)` and `with_impairments(f.into())` run identically.
-impl From<FaultPlan> for ImpairmentPlan {
-    fn from(faults: FaultPlan) -> Self {
-        let mut builder = ImpairmentPlan::builder(faults.seed);
-        if faults.loss > 0.0 {
-            builder = builder.uniform_loss(faults.loss);
-        }
-        let plan = builder.build().expect("FaultPlan loss is a validated probability");
-        if faults.jitter_us > 0 {
-            plan.with_jitter(faults.jitter_us)
-        } else {
-            plan
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,10 +163,16 @@ mod tests {
     }
 
     #[test]
-    fn conversion_preserves_every_decision() {
+    fn impairment_plan_replicates_the_legacy_hash_streams() {
+        // The unified impairment layer's uniform-loss and jitter streams
+        // must keep matching these reference formulas — this is what lets
+        // migrated configs reproduce legacy lossy runs bit-for-bit.
         let faults = FaultPlan::with_loss(0.35, 99).with_jitter(250);
-        let plan: ImpairmentPlan = faults.into();
-        assert!(!plan.affects_rates() || plan.jitter_us() == 250);
+        let plan = rths_sim::ImpairmentPlan::builder(99)
+            .uniform_loss(0.35)
+            .build()
+            .unwrap()
+            .with_jitter(250);
         for peer in 0..200u64 {
             for epoch in [0u64, 1, 13, 999] {
                 // Uniform loss ignores the helper index.
@@ -193,12 +180,5 @@ mod tests {
                 assert_eq!(plan.jitter_ticks(peer, epoch), faults.jitter_ticks(peer, epoch));
             }
         }
-    }
-
-    #[test]
-    fn none_converts_to_inert_plan() {
-        let plan: ImpairmentPlan = FaultPlan::none().into();
-        assert!(plan.is_none());
-        assert!(!plan.affects_rates());
     }
 }

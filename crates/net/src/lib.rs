@@ -37,10 +37,14 @@
 //! Markov link bandwidth/latency, timing jitter), attached via
 //! [`NetConfig::with_impairments`] or inherited from the sim config;
 //! every impairment decision is a pure function of `(plan seed, link,
-//! epoch)`, so impaired runs stay bit-identical across backends too. The
-//! legacy [`fault`] module's [`FaultPlan`] (drops + jitter only) remains
-//! as a thin converting constructor behind the deprecated
-//! `with_faults`.
+//! epoch)`, so impaired runs stay bit-identical across backends too.
+//!
+//! A third backend, [`Backend::Multiproc`] ([`multiproc`]), shards the
+//! reactor mesh across OS processes: the [`wire`] codec serializes the
+//! reactor's per-shard send buffers into length-prefixed frames, and a
+//! star of Unix-domain sockets replays the in-process bridge protocol
+//! verbatim — so an N-process run is `f64::to_bits`-identical to the
+//! single-process reactor (and therefore to the sim).
 //!
 //! # Example
 //!
@@ -64,12 +68,15 @@
 pub mod fault;
 pub mod machines;
 pub mod message;
+pub mod multiproc;
 pub mod reactor_backend;
 pub mod runtime;
 pub mod tracker;
+pub mod wire;
 
 pub use fault::FaultPlan;
 pub use message::{CoordMsg, HelperMsg, PeerMsg};
+pub use multiproc::{run_multiproc, run_multiproc_with_span, MultiprocReport};
 // Re-exported so `with_impairments` callers don't need an `rths_sim`
 // dependency just for the plan type.
 pub use reactor_backend::{NetActor, NetMsg, ReactorRuntime};

@@ -75,20 +75,9 @@ pub struct PeerMachine {
 }
 
 impl PeerMachine {
-    /// Wraps a live peer. `impairments` accepts an [`ImpairmentPlan`] or
-    /// a legacy [`crate::FaultPlan`] (converted losslessly).
-    pub fn new(
-        peer: Peer,
-        demand: Option<f64>,
-        impairments: impl Into<ImpairmentPlan>,
-    ) -> Self {
-        Self {
-            peer,
-            demand,
-            impairments: impairments.into(),
-            shaper: LinkShaper::new(),
-            inflight: None,
-        }
+    /// Wraps a live peer under the given impairment plan.
+    pub fn new(peer: Peer, demand: Option<f64>, impairments: ImpairmentPlan) -> Self {
+        Self { peer, demand, impairments, shaper: LinkShaper::new(), inflight: None }
     }
 
     /// Builds the peer for `id` from the simulation config.
@@ -96,7 +85,7 @@ impl PeerMachine {
         sim: &SimConfig,
         id: u64,
         num_helpers: usize,
-        impairments: impl Into<ImpairmentPlan>,
+        impairments: ImpairmentPlan,
     ) -> Self {
         Self::new(instantiate_peer(sim, id, num_helpers), sim.demand, impairments)
     }
@@ -428,7 +417,18 @@ impl CoordinatorMachine {
 
     /// Final summaries from the peers' own accounting, producing the same
     /// metric bundle the simulator returns.
-    pub fn finalize(mut self, peers: &[Peer]) -> (SimMetrics, Vec<f64>, Vec<f64>) {
+    pub fn finalize(self, peers: &[Peer]) -> (SimMetrics, Vec<f64>, Vec<f64>) {
+        self.finalize_summaries(peers.iter().map(|p| (p.mean_rate(), p.continuity())))
+    }
+
+    /// Like [`finalize`](Self::finalize), but from pre-extracted per-peer
+    /// `(mean_rate, continuity)` pairs in ascending peer-id order — the
+    /// form the multi-process runtime ships across process boundaries,
+    /// where the `Peer` values themselves live in worker processes.
+    pub fn finalize_summaries(
+        mut self,
+        peers: impl IntoIterator<Item = (f64, f64)>,
+    ) -> (SimMetrics, Vec<f64>, Vec<f64>) {
         let denom = self.epoch.max(1) as f64;
         self.metrics.mean_helper_loads = self
             .metrics
@@ -436,10 +436,9 @@ impl CoordinatorMachine {
             .iter()
             .map(|s| s.values().iter().sum::<f64>() / denom)
             .collect();
-        self.metrics.mean_peer_rates = peers.iter().map(Peer::mean_rate).collect();
-        self.metrics.peer_continuity = peers.iter().map(Peer::continuity).collect();
-        let rates = self.metrics.mean_peer_rates.clone();
-        let continuity = self.metrics.peer_continuity.clone();
+        let (rates, continuity): (Vec<f64>, Vec<f64>) = peers.into_iter().unzip();
+        self.metrics.mean_peer_rates = rates.clone();
+        self.metrics.peer_continuity = continuity.clone();
         (self.metrics, rates, continuity)
     }
 }
@@ -447,7 +446,6 @@ impl CoordinatorMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::FaultPlan;
     use rths_sim::{BandwidthSpec, Scenario, SimConfig};
 
     fn small_sim() -> SimConfig {
@@ -469,7 +467,7 @@ mod tests {
             .demand(300.0)
             .seed(1)
             .build();
-        let mut m = PeerMachine::from_config(&sim, 0, 2, FaultPlan::none());
+        let mut m = PeerMachine::from_config(&sim, 0, 2, ImpairmentPlan::none());
         let sel = m.on_tick(0);
         assert!(sel.helper < 2);
         assert!(!sel.lost);
@@ -485,7 +483,12 @@ mod tests {
     #[test]
     fn peer_machine_marks_lost_epochs() {
         let sim = small_sim();
-        let mut m = PeerMachine::from_config(&sim, 1, 2, FaultPlan::with_loss(1.0, 9));
+        let mut m = PeerMachine::from_config(
+            &sim,
+            1,
+            2,
+            ImpairmentPlan::builder(9).uniform_loss(1.0).build().unwrap(),
+        );
         assert!(m.on_tick(0).lost);
     }
 

@@ -1,0 +1,415 @@
+//! The multi-process reactor backend: one swarm sharded across OS
+//! processes, bit-equivalent to the single-process run.
+//!
+//! # Topology
+//!
+//! The parent process is both the **controller** and **rank 0**: it owns
+//! the first contiguous range of mailbox shards (which always contains
+//! the coordinator and tracker — actors 0 and 1), spawns `N - 1` worker
+//! processes, and drives every partition in lockstep through
+//! [`rths_reactor::bridge`]. Workers connect back over a Unix-domain
+//! socket, announce their rank (`Hello`), receive the full run
+//! configuration (`Config`), rebuild *their* partition of the mesh —
+//! every rank replays the same master-RNG helper instantiation so RNG
+//! streams stay global — and then follow the step protocol:
+//!
+//! ```text
+//! parent                         worker (per round)
+//!   Drain {routed fired timers} →
+//!                                ← DrainDone {remote-destined batches}
+//!   Merge {batches for you}     →
+//!                                ← Fence {pending, next deadline}
+//! ```
+//!
+//! The serialized batch unit is the reactor's existing per-shard send
+//! buffer ([`rths_reactor::RemoteBatch`]), tagged with its **global**
+//! sender shard; the receiving partition merges remote batches
+//! interleaved with local ones in ascending global sender-shard order —
+//! exactly the order a single reactor would have used, which is the
+//! whole determinism argument. The epoch barrier needs no new machinery:
+//! the coordinator's `NextEpoch` timer rides rank 0's wheel, and the
+//! fence each worker sends after its merge doubles as the
+//! `Settle`-style barrier frame (one per remote process per round).
+//!
+//! Frames are encoded by [`crate::wire`]; floats travel as
+//! `f64::to_bits`, so the N-process trajectory is `to_bits`-identical to
+//! the 1-process one (pinned by `tests/sim_net_equivalence.rs` at 2 and
+//! 4 processes).
+//!
+//! # Launch plumbing
+//!
+//! Workers are the tiny `rths_mp_worker` binary, located next to the
+//! current executable (or overridden via `RTHS_MP_WORKER`). The socket
+//! path and rank are passed through `Command::env` — per-child
+//! environment, never a mutation of the parent's (the `rths_lint`
+//! env-mutation rule holds; tests that need to override the lookup use
+//! the sanctioned `rths_par::env` guard).
+
+use std::io::{BufReader, BufWriter};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rths_obs as obs;
+use rths_reactor::bridge::{
+    drive, follow, ControllerLink, FollowerLink, Reply, ShardMap, Step,
+};
+use rths_reactor::{ActorId, Reactor, SHARD_SPAN};
+
+use crate::reactor_backend::{harvest_partition, mesh_total, populate_mesh, NetMsg};
+use crate::runtime::{NetConfig, NetOutcome};
+use crate::wire::{read_frame, write_frame, Frame, WorkerConfig, WorkerSummary};
+
+/// Environment variable carrying the controller's socket path to a
+/// worker (set per-child via `Command::env`).
+pub const SOCKET_ENV: &str = "RTHS_MP_SOCKET";
+/// Environment variable carrying a worker's rank.
+pub const RANK_ENV: &str = "RTHS_MP_RANK";
+/// Optional override for the worker executable path.
+pub const WORKER_ENV: &str = "RTHS_MP_WORKER";
+
+/// Distinguishes concurrently-running controllers' sockets without
+/// consulting the wall clock (pid + process-local sequence number).
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn socket_path() -> PathBuf {
+    let seq = SOCKET_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rths-mp-{}-{seq}.sock", std::process::id()))
+}
+
+fn worker_exe() -> PathBuf {
+    if let Ok(path) = std::env::var(WORKER_ENV) {
+        return PathBuf::from(path);
+    }
+    let mut exe = std::env::current_exe().expect("current executable path");
+    exe.pop();
+    // Test and example binaries live one level down in
+    // target/<profile>/{deps,examples}; the worker sits at the profile root.
+    if exe.ends_with("deps") || exe.ends_with("examples") {
+        exe.pop();
+    }
+    exe.join("rths_mp_worker")
+}
+
+/// This process's peak resident set (`VmHWM`, kB; 0 when unreadable —
+/// e.g. on non-Linux hosts).
+pub fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// A framed Unix-socket connection implementing both bridge link roles.
+/// Transport failures panic: a vanished peer process is unrecoverable
+/// mid-lockstep, and the bridge traits document panicking links.
+struct FrameLink {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl FrameLink {
+    fn new(stream: UnixStream) -> std::io::Result<Self> {
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: BufWriter::new(stream) })
+    }
+
+    fn send(&mut self, frame: &Frame) {
+        write_frame(&mut self.writer, frame).expect("peer process reachable");
+    }
+
+    fn recv(&mut self) -> Frame {
+        read_frame(&mut self.reader).expect("peer process reachable")
+    }
+}
+
+impl ControllerLink<NetMsg> for FrameLink {
+    fn send_step(&mut self, step: Step<NetMsg>) {
+        self.send(&Frame::Step(step));
+    }
+
+    fn recv_reply(&mut self) -> Reply<NetMsg> {
+        match self.recv() {
+            Frame::Reply(reply) => reply,
+            other => panic!("expected a reply frame, got {other:?}"),
+        }
+    }
+}
+
+impl FollowerLink<NetMsg> for FrameLink {
+    fn recv_step(&mut self) -> Step<NetMsg> {
+        match self.recv() {
+            Frame::Step(step) => step,
+            other => panic!("expected a step frame, got {other:?}"),
+        }
+    }
+
+    fn send_reply(&mut self, reply: Reply<NetMsg>) {
+        self.send(&Frame::Reply(reply));
+    }
+}
+
+/// Outcome of a multi-process run plus per-process memory accounting.
+#[derive(Debug, Clone)]
+pub struct MultiprocReport {
+    /// The merged outcome — bit-identical to the other backends'.
+    pub outcome: NetOutcome,
+    /// Peak RSS (`VmHWM`, kB) per rank; index 0 is the parent process.
+    pub rss_kb: Vec<u64>,
+}
+
+impl MultiprocReport {
+    /// Summed peak RSS over all ranks (the headline memory figure).
+    pub fn total_rss_kb(&self) -> u64 {
+        self.rss_kb.iter().sum()
+    }
+
+    /// Largest single-process peak RSS.
+    pub fn max_rss_kb(&self) -> u64 {
+        self.rss_kb.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs `epochs` epochs with the mesh sharded across `processes` OS
+/// processes at the default [`SHARD_SPAN`] mailbox span. See
+/// [`run_multiproc_with_span`].
+pub fn run_multiproc(config: NetConfig, epochs: u64, processes: usize) -> MultiprocReport {
+    run_multiproc_with_span(config, epochs, processes, SHARD_SPAN)
+}
+
+/// Runs `epochs` epochs with the mesh sharded across `processes`
+/// partitions of `span`-actor mailbox shards. `processes == 1` runs the
+/// same partitioned code path with no children (and no sockets), and is
+/// `to_bits`-identical to [`crate::ReactorRuntime`]; so is every higher
+/// process count, since delivery order is reconstructed globally.
+///
+/// Small meshes need a small `span` to actually cross process
+/// boundaries (a 16-actor mesh is a single default-span shard);
+/// benchmarks use the default span.
+///
+/// # Panics
+///
+/// Panics if `processes` is zero, the worker executable cannot be
+/// spawned, or a worker dies mid-run.
+pub fn run_multiproc_with_span(
+    config: NetConfig,
+    epochs: u64,
+    processes: usize,
+    span: usize,
+) -> MultiprocReport {
+    assert!(processes >= 1, "need at least one process");
+    let _trace_guard = config.trace.then(|| obs::scoped_enable(true));
+    if obs::enabled() {
+        obs::begin_run("net_multiproc");
+    }
+
+    let total = mesh_total(&config);
+    let map = ShardMap::contiguous(total, span, processes);
+
+    // Launch workers first so they build their partitions while the
+    // parent builds its own.
+    let mut children: Vec<Child> = Vec::new();
+    let mut links: Vec<Option<FrameLink>> = (1..processes).map(|_| None).collect();
+    let path = socket_path();
+    if processes > 1 {
+        let listener = UnixListener::bind(&path)
+            .unwrap_or_else(|e| panic!("bind {}: {e}", path.display()));
+        let exe = worker_exe();
+        for rank in 1..processes {
+            children.push(
+                Command::new(&exe)
+                    .env(SOCKET_ENV, &path)
+                    .env(RANK_ENV, rank.to_string())
+                    .spawn()
+                    .unwrap_or_else(|e| {
+                        panic!("spawn {} (are workspace bins built?): {e}", exe.display())
+                    }),
+            );
+        }
+        let wc = WorkerConfig { config: config.clone(), span, processes };
+        for _ in 1..processes {
+            let (stream, _) = listener.accept().expect("worker connection");
+            let mut link = FrameLink::new(stream).expect("socket handle clone");
+            match link.recv() {
+                Frame::Hello { rank } => {
+                    assert!(
+                        (1..processes).contains(&rank),
+                        "worker announced bogus rank {rank}"
+                    );
+                    let slot = &mut links[rank - 1];
+                    assert!(slot.is_none(), "rank {rank} connected twice");
+                    link.send(&Frame::Config(Box::new(wc.clone())));
+                    *slot = Some(link);
+                }
+                other => panic!("expected Hello, got {other:?}"),
+            }
+        }
+    }
+    let mut links: Vec<FrameLink> = links
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| l.unwrap_or_else(|| panic!("rank {} never connected", i + 1)))
+        .collect();
+
+    // Rank 0's partition (always contains the coordinator, actor 0).
+    let mut local = Reactor::partitioned(span, map.start(0), total);
+    populate_mesh(&mut local, &config, span, map.start(0), map.len(0));
+    local.inject(ActorId(0), NetMsg::Run { epochs });
+    drive(&mut local, &mut links, &map);
+
+    // Collection: local harvest plus one Summary frame per worker.
+    let mut harvest = harvest_partition(local);
+    let coord = harvest.coordinator.take().expect("rank 0 owns the coordinator");
+    let mut messages = harvest.messages;
+    let mut peers = harvest.peers;
+    let mut rss_kb = vec![peak_rss_kb()];
+    for link in &mut links {
+        match link.recv() {
+            Frame::Summary(summary) => {
+                messages.control += summary.control;
+                messages.data += summary.data;
+                rss_kb.push(summary.rss_kb);
+                // Ranks own ascending actor ranges, so rank-major
+                // concatenation is ascending peer-id order.
+                peers.extend(summary.peers);
+            }
+            other => panic!("expected Summary, got {other:?}"),
+        }
+    }
+    drop(links);
+    for child in &mut children {
+        let status = child.wait().expect("waiting on worker");
+        assert!(status.success(), "worker exited with {status}");
+    }
+    if processes > 1 {
+        let _ = std::fs::remove_file(&path);
+    }
+
+    let epochs_done = coord.epochs_done();
+    let (metrics, peer_mean_rates, peer_continuity) = coord.finalize_summaries(peers);
+    MultiprocReport {
+        outcome: NetOutcome {
+            epochs: epochs_done,
+            metrics,
+            peer_mean_rates,
+            peer_continuity,
+            messages,
+        },
+        rss_kb,
+    }
+}
+
+/// Entry point of the `rths_mp_worker` binary: connect back to the
+/// controller, rebuild this rank's partition, follow the lockstep
+/// protocol, report, exit.
+///
+/// # Panics
+///
+/// Panics if the `RTHS_MP_SOCKET`/`RTHS_MP_RANK` environment is missing
+/// (the binary is not meant to be run by hand) or the controller
+/// vanishes mid-run.
+pub fn worker_main() {
+    let path = std::env::var(SOCKET_ENV)
+        .expect("RTHS_MP_SOCKET not set — rths_mp_worker is launched by run_multiproc");
+    let rank: usize = std::env::var(RANK_ENV)
+        .expect("RTHS_MP_RANK not set")
+        .parse()
+        .expect("RTHS_MP_RANK must be a process rank");
+    assert!(rank >= 1, "rank 0 is the controller itself");
+    let stream = UnixStream::connect(&path).unwrap_or_else(|e| panic!("connect {path}: {e}"));
+    let mut link = FrameLink::new(stream).expect("socket handle clone");
+    link.send(&Frame::Hello { rank });
+    let wc = match link.recv() {
+        Frame::Config(wc) => *wc,
+        other => panic!("expected Config, got {other:?}"),
+    };
+
+    let total = mesh_total(&wc.config);
+    let map = ShardMap::contiguous(total, wc.span, wc.processes);
+    let mut reactor = Reactor::partitioned(wc.span, map.start(rank), total);
+    populate_mesh(&mut reactor, &wc.config, wc.span, map.start(rank), map.len(rank));
+    follow(&mut reactor, &mut link);
+
+    let harvest = harvest_partition(reactor);
+    assert!(harvest.coordinator.is_none(), "only rank 0 hosts the coordinator");
+    link.send(&Frame::Summary(WorkerSummary {
+        control: harvest.messages.control,
+        data: harvest.messages.data,
+        rss_kb: peak_rss_kb(),
+        peers: harvest.peers,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Backend;
+    use crate::ReactorRuntime;
+    use rths_sim::Scenario;
+
+    fn bits(values: &[f64]) -> Vec<u64> {
+        values.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn assert_outcomes_identical(a: &NetOutcome, b: &NetOutcome) {
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(bits(a.metrics.welfare.values()), bits(b.metrics.welfare.values()));
+        assert_eq!(bits(&a.peer_mean_rates), bits(&b.peer_mean_rates));
+        assert_eq!(bits(&a.peer_continuity), bits(&b.peer_continuity));
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn one_process_is_the_reactor_backend_exactly() {
+        let sim = Scenario::paper_small().seed(31).build();
+        let single = ReactorRuntime::new(NetConfig::from_sim(sim.clone())).run(40);
+        let multi = run_multiproc(NetConfig::from_sim(sim), 40, 1);
+        assert_outcomes_identical(&multi.outcome, &single);
+        assert_eq!(multi.rss_kb.len(), 1);
+    }
+
+    #[test]
+    fn two_processes_match_the_single_process_run() {
+        let sim = Scenario::paper_small().seed(32).build();
+        let single = ReactorRuntime::new(NetConfig::from_sim(sim.clone())).run(40);
+        // paper_small is 16 actors: span 4 puts peers on both ranks.
+        let multi = run_multiproc_with_span(NetConfig::from_sim(sim), 40, 2, 4);
+        assert_outcomes_identical(&multi.outcome, &single);
+        assert_eq!(multi.rss_kb.len(), 2);
+        assert!(multi.rss_kb.iter().all(|&kb| kb > 0), "rss {:?}", multi.rss_kb);
+        assert!(multi.total_rss_kb() >= multi.max_rss_kb());
+    }
+
+    #[test]
+    fn impaired_runs_cross_process_boundaries_identically() {
+        let plan =
+            crate::ImpairmentPlan::builder(11).uniform_loss(0.2).jitter_us(5).build().unwrap();
+        let sim = Scenario::paper_small().seed(33).build();
+        let single = ReactorRuntime::new(
+            NetConfig::from_sim(sim.clone()).with_impairments(plan.clone()),
+        )
+        .run(30);
+        let multi =
+            run_multiproc_with_span(NetConfig::from_sim(sim).with_impairments(plan), 30, 3, 4);
+        assert_outcomes_identical(&multi.outcome, &single);
+    }
+
+    #[test]
+    fn backend_enum_dispatches_to_multiproc() {
+        let sim = Scenario::paper_small().seed(34).build();
+        let reactor =
+            crate::run(NetConfig::from_sim(sim.clone()).with_backend(Backend::Reactor), 20);
+        let multi = crate::run(
+            NetConfig::from_sim(sim).with_backend(Backend::Multiproc { processes: 2 }),
+            20,
+        );
+        // Default span keeps this 16-actor mesh on rank 0; the point
+        // here is the dispatch path, the bit-equality is pinned above
+        // and in the workspace equivalence test.
+        assert_outcomes_identical(&multi, &reactor);
+    }
+}

@@ -404,103 +404,194 @@ impl std::fmt::Debug for ReactorRuntime {
     }
 }
 
-impl ReactorRuntime {
-    /// Builds the actor mesh described by `config` (same RNG derivation
-    /// order as the simulator and the threaded backend).
-    pub fn new(config: NetConfig) -> Self {
-        let sim = &config.sim;
-        let impairments = &config.impairments;
-        let h = sim.helpers.len();
-        let n = sim.num_peers;
-        let helper_base = 2;
-        let peer_base = helper_base + h;
+/// Total actor count of the mesh `config` describes: coordinator,
+/// tracker, helpers, peers — ids dense, in that order.
+pub(crate) fn mesh_total(config: &NetConfig) -> usize {
+    2 + config.sim.helpers.len() + config.sim.num_peers
+}
 
-        let mut reactor = Reactor::new();
-        let (helpers, helper_min_total) = instantiate_helpers(sim);
-        let coordinator = reactor.add_actor(NetActor::Coordinator(Box::new(CoordNode {
-            machine: CoordinatorMachine::new(sim, helper_min_total),
-            remaining: 0,
-            bootstrapped: false,
-            tracker: ActorId(1),
-            helper_base,
-            num_helpers: h,
-            peer_base,
-            num_peers: n,
-            impairments: impairments.clone(),
-            control: 0,
-        })));
-        reactor.add_actor(NetActor::Tracker(TrackerNode {
-            coordinator,
-            helper_base,
-            num_helpers: h,
-            peer_base,
-            num_peers: n,
-        }));
-        for (index, helper) in helpers.into_iter().enumerate() {
-            reactor.add_actor(NetActor::Helper(HelperNode {
-                machine: HelperMachine::new(helper),
-                index,
-                coordinator,
-                peer_base,
-                ticked_epoch: None,
-                pending_settle: None,
-                control: 0,
-                data: 0,
-            }));
-        }
-        if matches!(sim.learner.algorithm, Algorithm::Rths) {
-            // Default-algorithm fast path: instead of 10⁵ per-peer
-            // `Matrix::zeros` heap blocks, each mailbox shard's peers
-            // share one pre-sized `LearnerSlab` (column-major arena,
-            // lazily mapped zero pages — see `rths_core::slab`). A shard
-            // is processed by exactly one worker per round, so the slab
-            // mutex is uncontended; learners replay the scalar path
-            // bit-for-bit, keeping the three-way equivalence intact. The
-            // per-channel config is derived once, not once per peer.
-            let learner_config = sim
-                .learner
-                .rths_config(h, sim.rate_scale())
-                .expect("learner spec validated by construction");
-            let mut start = 0usize;
-            while start < n {
-                // Peers sharing a mailbox shard: actor ids
-                // `peer_base + start ..` up to the next SHARD_SPAN edge.
-                let shard_end = ((peer_base + start) / SHARD_SPAN + 1) * SHARD_SPAN;
-                let end = n.min(shard_end - peer_base);
-                let slab =
-                    Arc::new(Mutex::new(LearnerSlab::with_capacity(h.max(1), end - start)));
-                for id in start..end {
-                    let learner = AnyLearner::SlabRths(SlabLearner::new(
-                        Arc::clone(&slab),
-                        learner_config.clone(),
-                    ));
-                    let id = id as u64;
-                    let peer = Peer::new(PeerId(id), learner, entity_rng(sim.seed, id), 0, 0);
-                    reactor.add_actor(NetActor::Peer(PeerNode {
-                        machine: PeerMachine::new(peer, sim.demand, impairments.clone()),
-                        coordinator,
-                        helper_base: None,
-                        track_estimate: config.track_estimate,
-                        control: 0,
-                    }));
-                }
-                start = end;
+/// Adds the actors with global ids `base .. base + len` to `reactor`,
+/// reproducing the full-mesh construction exactly over that range: every
+/// caller runs the same master-RNG helper instantiation (RNG order is
+/// global state), then keeps only the actors it owns. `span` is the
+/// mailbox shard span, used to group slab learners so a slab never
+/// crosses a shard (hence never a partition) boundary.
+///
+/// The single-process runtime is the `base = 0, len = total` case; the
+/// multi-process workers call this with their partition range.
+pub(crate) fn populate_mesh(
+    reactor: &mut Reactor<NetActor>,
+    config: &NetConfig,
+    span: usize,
+    base: usize,
+    len: usize,
+) {
+    let sim = &config.sim;
+    let impairments = &config.impairments;
+    let h = sim.helpers.len();
+    let n = sim.num_peers;
+    let helper_base = 2;
+    let peer_base = helper_base + h;
+    let end = base + len;
+    debug_assert!(end <= mesh_total(config), "partition range exceeds the mesh");
+    let coordinator = ActorId(0);
+
+    let (helpers, helper_min_total) = instantiate_helpers(sim);
+    let mut helpers: Vec<Option<_>> = helpers.into_iter().map(Some).collect();
+    for id in base..end.min(peer_base) {
+        match id {
+            0 => {
+                reactor.add_actor(NetActor::Coordinator(Box::new(CoordNode {
+                    machine: CoordinatorMachine::new(sim, helper_min_total),
+                    remaining: 0,
+                    bootstrapped: false,
+                    tracker: ActorId(1),
+                    helper_base,
+                    num_helpers: h,
+                    peer_base,
+                    num_peers: n,
+                    impairments: impairments.clone(),
+                    control: 0,
+                })));
             }
-        } else {
-            for id in 0..n as u64 {
+            1 => {
+                reactor.add_actor(NetActor::Tracker(TrackerNode {
+                    coordinator,
+                    helper_base,
+                    num_helpers: h,
+                    peer_base,
+                    num_peers: n,
+                }));
+            }
+            id => {
+                let index = id - helper_base;
+                reactor.add_actor(NetActor::Helper(HelperNode {
+                    machine: HelperMachine::new(
+                        helpers[index].take().expect("helper built once"),
+                    ),
+                    index,
+                    coordinator,
+                    peer_base,
+                    ticked_epoch: None,
+                    pending_settle: None,
+                    control: 0,
+                    data: 0,
+                }));
+            }
+        }
+    }
+
+    // Owned peer index range (peer 0 is actor `peer_base`).
+    let p_start = base.saturating_sub(peer_base);
+    let p_end = end.saturating_sub(peer_base).min(n);
+    if p_start >= p_end {
+        return;
+    }
+    if matches!(sim.learner.algorithm, Algorithm::Rths) {
+        // Default-algorithm fast path: instead of 10⁵ per-peer
+        // `Matrix::zeros` heap blocks, each mailbox shard's peers
+        // share one pre-sized `LearnerSlab` (column-major arena,
+        // lazily mapped zero pages — see `rths_core::slab`). A shard
+        // is processed by exactly one worker per round, so the slab
+        // mutex is uncontended; learners replay the scalar path
+        // bit-for-bit, keeping the three-way equivalence intact. The
+        // per-channel config is derived once, not once per peer.
+        let learner_config = sim
+            .learner
+            .rths_config(h, sim.rate_scale())
+            .expect("learner spec validated by construction");
+        let mut start = p_start;
+        while start < p_end {
+            // Peers sharing a mailbox shard: actor ids
+            // `peer_base + start ..` up to the next shard edge.
+            let shard_end = ((peer_base + start) / span + 1) * span;
+            let slab_end = p_end.min(shard_end - peer_base);
+            let slab =
+                Arc::new(Mutex::new(LearnerSlab::with_capacity(h.max(1), slab_end - start)));
+            for id in start..slab_end {
+                let learner = AnyLearner::SlabRths(SlabLearner::new(
+                    Arc::clone(&slab),
+                    learner_config.clone(),
+                ));
+                let id = id as u64;
+                let peer = Peer::new(PeerId(id), learner, entity_rng(sim.seed, id), 0, 0);
                 reactor.add_actor(NetActor::Peer(PeerNode {
-                    machine: PeerMachine::from_config(sim, id, h, impairments.clone()),
+                    machine: PeerMachine::new(peer, sim.demand, impairments.clone()),
                     coordinator,
                     helper_base: None,
                     track_estimate: config.track_estimate,
                     control: 0,
                 }));
             }
+            start = slab_end;
         }
+    } else {
+        for id in p_start as u64..p_end as u64 {
+            reactor.add_actor(NetActor::Peer(PeerNode {
+                machine: PeerMachine::from_config(sim, id, h, impairments.clone()),
+                coordinator,
+                helper_base: None,
+                track_estimate: config.track_estimate,
+                control: 0,
+            }));
+        }
+    }
+}
+
+/// What one partition contributes to the final [`NetOutcome`]: the
+/// coordinator machine (rank 0 only), message totals, and per-peer
+/// `(mean_rate, continuity)` summaries in ascending peer-id order.
+pub(crate) struct PartitionHarvest {
+    /// The coordinator's machine, when this partition owned actor 0.
+    pub coordinator: Option<CoordinatorMachine>,
+    /// Control/data totals over this partition's actors.
+    pub messages: MessageTotals,
+    /// Per-peer `(mean_rate, continuity)`, ascending peer id.
+    pub peers: Vec<(f64, f64)>,
+}
+
+/// Consumes a (full or partitioned) mesh reactor and extracts its
+/// contribution to the outcome.
+pub(crate) fn harvest_partition(reactor: Reactor<NetActor>) -> PartitionHarvest {
+    let mut harvest = PartitionHarvest {
+        coordinator: None,
+        messages: MessageTotals::default(),
+        peers: Vec::new(),
+    };
+    for actor in reactor.into_actors() {
+        match actor {
+            NetActor::Coordinator(node) => {
+                harvest.messages.control += node.control;
+                harvest.coordinator = Some(node.machine);
+            }
+            NetActor::Tracker(_) => {}
+            NetActor::Helper(node) => {
+                harvest.messages.control += node.control;
+                harvest.messages.data += node.data;
+            }
+            NetActor::Peer(node) => {
+                harvest.messages.control += node.control;
+                let peer = node.machine.into_peer();
+                harvest.peers.push((peer.mean_rate(), peer.continuity()));
+            }
+        }
+    }
+    harvest
+}
+
+impl ReactorRuntime {
+    /// Builds the actor mesh described by `config` (same RNG derivation
+    /// order as the simulator and the threaded backend).
+    pub fn new(config: NetConfig) -> Self {
+        let h = config.sim.helpers.len();
+        let n = config.sim.num_peers;
+        let mut reactor = Reactor::new();
+        let total = mesh_total(&config);
+        populate_mesh(&mut reactor, &config, SHARD_SPAN, 0, total);
         Self {
             reactor,
-            coordinator,
-            helper_base,
+            coordinator: ActorId(0),
+            helper_base: 2,
             num_helpers: h,
             num_peers: n,
             trace: config.trace,
@@ -532,30 +623,18 @@ impl ReactorRuntime {
 
     /// Finishes the run: consumes the mesh and aggregates the outcome.
     pub fn finish(self) -> NetOutcome {
-        let mut messages = MessageTotals::default();
-        let mut coord: Option<Box<CoordNode>> = None;
-        let mut peers: Vec<Peer> = Vec::with_capacity(self.num_peers);
-        for actor in self.reactor.into_actors() {
-            match actor {
-                NetActor::Coordinator(node) => {
-                    messages.control += node.control;
-                    coord = Some(node);
-                }
-                NetActor::Tracker(_) => {}
-                NetActor::Helper(node) => {
-                    messages.control += node.control;
-                    messages.data += node.data;
-                }
-                NetActor::Peer(node) => {
-                    messages.control += node.control;
-                    peers.push(node.machine.into_peer());
-                }
-            }
-        }
-        let coord = coord.expect("coordinator actor present").machine;
+        let harvest = harvest_partition(self.reactor);
+        let coord = harvest.coordinator.expect("coordinator actor present");
         let epochs = coord.epochs_done();
-        let (metrics, peer_mean_rates, peer_continuity) = coord.finalize(&peers);
-        NetOutcome { epochs, metrics, peer_mean_rates, peer_continuity, messages }
+        let (metrics, peer_mean_rates, peer_continuity) =
+            coord.finalize_summaries(harvest.peers);
+        NetOutcome {
+            epochs,
+            metrics,
+            peer_mean_rates,
+            peer_continuity,
+            messages: harvest.messages,
+        }
     }
 
     /// Runs `epochs` epochs and returns the outcome (consuming the

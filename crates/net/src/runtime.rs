@@ -31,7 +31,6 @@ use rths_sim::ImpairmentPlan;
 use rths_sim::SimConfig;
 use rths_sim::SimMetrics;
 
-use crate::fault::FaultPlan;
 use crate::machines::{instantiate_helpers, CoordinatorMachine, HelperMachine, PeerMachine};
 use crate::message::{CoordMsg, HelperMsg, PeerMsg};
 use crate::tracker::Tracker;
@@ -48,6 +47,14 @@ pub enum Backend {
     /// thousands of poll-driven actors per thread, bit-equivalent to both
     /// the threaded backend and the simulator.
     Reactor,
+    /// The multi-process reactor ([`crate::multiproc`]): the mesh
+    /// sharded across OS processes over Unix-domain sockets, each
+    /// hosting a contiguous partition of mailbox shards — still
+    /// bit-equivalent to every other backend.
+    Multiproc {
+        /// Process count (≥ 1); the calling process is rank 0.
+        processes: usize,
+    },
 }
 
 /// Configuration of a decentralized run.
@@ -108,15 +115,6 @@ impl NetConfig {
         self
     }
 
-    /// Adds a legacy fault plan. Converting shim: `with_faults(f)` is
-    /// exactly `with_impairments(f.into())` — same hash streams, same
-    /// results bit-for-bit.
-    #[deprecated(since = "0.6.0", note = "use with_impairments(ImpairmentPlan) instead")]
-    #[must_use]
-    pub fn with_faults(self, faults: FaultPlan) -> Self {
-        self.with_impairments(faults.into())
-    }
-
     /// Enables/disables per-peer internal regret estimates (see
     /// [`track_estimate`](Self::track_estimate)).
     #[must_use]
@@ -148,6 +146,9 @@ pub fn run(config: NetConfig, epochs: u64) -> NetOutcome {
     match config.backend {
         Backend::Threaded => NetRuntime::new(config).run(epochs),
         Backend::Reactor => crate::reactor_backend::ReactorRuntime::new(config).run(epochs),
+        Backend::Multiproc { processes } => {
+            crate::multiproc::run_multiproc(config, epochs, processes).outcome
+        }
     }
 }
 
@@ -554,28 +555,6 @@ mod tests {
         assert!(
             w_lossy < w_clean * 0.85,
             "loss had no effect: clean {w_clean}, lossy {w_lossy}"
-        );
-    }
-
-    #[test]
-    fn deprecated_with_faults_shim_matches_with_impairments() {
-        let build = || {
-            rths_sim::SimConfig::builder(6, vec![BandwidthSpec::Constant(800.0); 2])
-                .seed(8)
-                .build()
-        };
-        #[allow(deprecated)]
-        let legacy = NetRuntime::new(
-            NetConfig::from_sim(build()).with_faults(FaultPlan::with_loss(0.4, 17)),
-        )
-        .run(60);
-        let plan = ImpairmentPlan::builder(17).uniform_loss(0.4).build().unwrap();
-        let migrated =
-            NetRuntime::new(NetConfig::from_sim(build()).with_impairments(plan)).run(60);
-        assert_eq!(
-            legacy.metrics.welfare.values(),
-            migrated.metrics.welfare.values(),
-            "the shim must reproduce the legacy run bit-for-bit"
         );
     }
 

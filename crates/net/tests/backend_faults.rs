@@ -1,4 +1,4 @@
-//! `FaultPlan` coverage on the reactor backend.
+//! Loss-impairment coverage on the reactor backend.
 //!
 //! The fault model must be backend-invariant: a dropped data-plane
 //! payload ("the connection exists but the stream never arrives") reaches
@@ -8,14 +8,14 @@
 //! level (lossy reactor runs reproduce lossy threaded runs bit-for-bit),
 //! and at the boundary (full loss starves everyone on both backends).
 //!
-//! The suite deliberately keeps driving the legacy `FaultPlan`
-//! constructors through the deprecated `with_faults` shim: it doubles as
-//! the regression net for the FaultPlan → ImpairmentPlan migration.
-#![allow(deprecated)]
+//! Loss plans are built with `ImpairmentPlan::builder` directly; the
+//! uniform-loss model replicates the legacy `FaultPlan` hash stream
+//! bit-for-bit (asserted by `rths_sim::impairment`'s compatibility
+//! tests), so these runs reproduce the pre-migration ones exactly.
 
 use rths_core::Learner;
 use rths_net::machines::{HelperMachine, PeerMachine};
-use rths_net::{Backend, FaultPlan, NetConfig};
+use rths_net::{Backend, ImpairmentPlan, NetConfig};
 use rths_sim::helper::{Helper, HelperId};
 use rths_sim::{BandwidthSpec, Scenario, SimConfig};
 use rths_stoch::bandwidth::ConstantBandwidth;
@@ -24,12 +24,16 @@ fn bits(series: &[f64]) -> Vec<u64> {
     series.iter().map(|v| v.to_bits()).collect()
 }
 
+fn uniform_loss(loss: f64, seed: u64) -> ImpairmentPlan {
+    ImpairmentPlan::builder(seed).uniform_loss(loss).build().unwrap()
+}
+
 fn lossy_config(seed: u64, loss: f64) -> NetConfig {
     let sim = SimConfig::builder(12, vec![BandwidthSpec::Paper { stay: 0.95 }; 3])
         .demand(350.0)
         .seed(seed)
         .build();
-    NetConfig::from_sim(sim).with_faults(FaultPlan::with_loss(loss, seed ^ 0xF00D))
+    NetConfig::from_sim(sim).with_impairments(uniform_loss(loss, seed ^ 0xF00D))
 }
 
 #[test]
@@ -38,8 +42,8 @@ fn dropped_reply_is_exactly_a_zero_rate_observation() {
     // helper that drops its payload, the other observes an explicit 0.0.
     // Their learner states must end bit-identical.
     let sim = Scenario::paper_small().seed(31).build();
-    let mut dropped = PeerMachine::from_config(&sim, 4, 2, FaultPlan::with_loss(1.0, 1));
-    let mut explicit = PeerMachine::from_config(&sim, 4, 2, FaultPlan::none());
+    let mut dropped = PeerMachine::from_config(&sim, 4, 2, uniform_loss(1.0, 1));
+    let mut explicit = PeerMachine::from_config(&sim, 4, 2, ImpairmentPlan::none());
     let mut helper: HelperMachine<()> = HelperMachine::new(Helper::with_seed(
         HelperId(0),
         Box::new(ConstantBandwidth::new(800.0)),

@@ -44,6 +44,17 @@
 //! both the simulator and the thread-per-actor backend exactly (see
 //! `tests/sim_net_equivalence.rs` in the workspace root).
 //!
+//! # Multi-process partitions
+//!
+//! A mesh can be sharded across OS processes: each process hosts a
+//! [`Reactor::partitioned`] owning a contiguous, span-aligned global
+//! actor range, and the [`bridge`] module drives all partitions in
+//! lockstep — each round splits into a drain phase (remote-destined
+//! sends extracted as [`RemoteBatch`]es) and a merge phase (local and
+//! routed remote batches placed in global sender-shard order), so the
+//! N-process run remains bit-identical to the single-process one. The
+//! plain reactor is the 1-partition special case of the same code path.
+//!
 //! # Example
 //!
 //! ```
@@ -74,8 +85,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bridge;
 mod reactor;
 mod wheel;
 
-pub use reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats, SHARD_SPAN};
+pub use reactor::{Actor, ActorId, Ctx, Reactor, ReactorStats, RemoteBatch, SHARD_SPAN};
 pub use wheel::TimerWheel;

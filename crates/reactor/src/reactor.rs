@@ -48,9 +48,28 @@ use rths_obs::{self as obs, Counter, Gauge, ObsScratch, Phase};
 pub const SHARD_SPAN: usize = 1024;
 
 /// Index of an actor inside a [`Reactor`] — assigned densely by
-/// [`Reactor::add_actor`] and used as the message address.
+/// [`Reactor::add_actor`] and used as the message address. Under a
+/// partitioned reactor ([`Reactor::partitioned`]) the id is **global**:
+/// every process numbers the same actor identically, and ids outside the
+/// local partition address actors owned by other processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ActorId(pub usize);
+
+/// One local mailbox shard's round output bound for actors owned by
+/// *other* processes: the remote-destined subsequence of the shard's
+/// send buffer, in send order.
+///
+/// `sender_shard` is the **global** shard index (`actor id / span`), so a
+/// receiving process can merge remote batches into its rings in global
+/// sender-index order — exactly the order a single-process reactor would
+/// have used — regardless of which process produced them.
+#[derive(Debug)]
+pub struct RemoteBatch<M> {
+    /// Global shard index of the sending shard.
+    pub sender_shard: usize,
+    /// `(destination, message)` pairs in send order.
+    pub msgs: Vec<(ActorId, M)>,
+}
 
 impl std::fmt::Display for ActorId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -258,7 +277,20 @@ pub struct Reactor<A: Actor> {
     /// Actors per shard (power of two).
     span: usize,
     span_bits: u32,
+    /// Locally hosted actors (the partition length when partitioned).
     actors_total: usize,
+    /// First global actor id owned by this reactor (0 unless
+    /// partitioned; always a multiple of `span`).
+    base: usize,
+    /// Global actor count across every partition. Tracks `actors_total`
+    /// for a plain reactor; fixed at construction when partitioned.
+    global_total: usize,
+    /// Whether this reactor hosts one partition of a larger mesh (sends
+    /// may then legally target non-local ids).
+    partitioned: bool,
+    /// Protocol guard: a `drain_phase` has run without its matching
+    /// `merge_phase`.
+    mid_round: bool,
     /// External deliveries (injections, fired timers) awaiting a pack.
     staged: Vec<(ActorId, A::Msg)>,
     /// Reusable per-shard swap buffers for the merge step.
@@ -301,6 +333,10 @@ impl<A: Actor> Reactor<A> {
             span,
             span_bits: span.trailing_zeros(),
             actors_total: 0,
+            base: 0,
+            global_total: 0,
+            partitioned: false,
+            mid_round: false,
             staged: Vec::new(),
             send_batches: Vec::new(),
             round_scratch: Vec::new(),
@@ -312,11 +348,50 @@ impl<A: Actor> Reactor<A> {
         }
     }
 
+    /// Creates an empty reactor hosting one **partition** of a larger
+    /// mesh: the contiguous global actor range starting at `base`
+    /// (span-aligned), out of `global_total` actors overall.
+    ///
+    /// Actors registered with [`add_actor`](Self::add_actor) receive
+    /// **global** ids (`base`, `base + 1`, …). Sends may target any
+    /// global id; a partitioned reactor must be driven through
+    /// [`drain_phase`](Self::drain_phase) /
+    /// [`merge_phase`](Self::merge_phase) /
+    /// [`advance_to`](Self::advance_to) so remote-destined messages can
+    /// be routed (see `bridge`), not through
+    /// [`run_until_idle`](Self::run_until_idle).
+    ///
+    /// With `base == 0` and every actor local, the phase split is
+    /// bit-identical to a plain reactor — the single-process run *is*
+    /// the 1-partition special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero or not a power of two, or if `base`
+    /// exceeds `global_total`, or if `base` is neither a multiple of
+    /// `span` nor exactly `global_total` (the latter is the degenerate
+    /// empty partition a small mesh leaves its high ranks — legal, it
+    /// just can never host an actor).
+    pub fn partitioned(span: usize, base: usize, global_total: usize) -> Self {
+        assert!(span.is_power_of_two(), "shard span must be a power of two");
+        assert!(
+            base.is_multiple_of(span) || base == global_total,
+            "partition base {base} not aligned to span {span}"
+        );
+        assert!(base <= global_total, "partition base {base} past {global_total} actors");
+        let mut reactor = Self::with_shard_span(span);
+        reactor.base = base;
+        reactor.global_total = global_total;
+        reactor.partitioned = true;
+        reactor
+    }
+
     /// Registers an actor, returning its id (dense, in registration
-    /// order). No OS thread is spawned — the actor is polled in place.
+    /// order; offset by the partition base when partitioned). No OS
+    /// thread is spawned — the actor is polled in place.
     pub fn add_actor(&mut self, actor: A) -> ActorId {
-        let id = self.actors_total;
-        let shard = id >> self.span_bits;
+        let local = self.actors_total;
+        let shard = local >> self.span_bits;
         if shard == self.shards.len() {
             self.shards.push(MailShard::new());
         }
@@ -326,7 +401,42 @@ impl<A: Actor> Reactor<A> {
         s.lens.push(0);
         s.cursors.push(0);
         self.actors_total += 1;
-        ActorId(id)
+        if self.partitioned {
+            assert!(
+                self.base + self.actors_total <= self.global_total,
+                "partition [{}, {}) overflows the {}-actor mesh",
+                self.base,
+                self.base + self.actors_total,
+                self.global_total
+            );
+        } else {
+            self.global_total = self.actors_total;
+        }
+        ActorId(self.base + local)
+    }
+
+    /// Whether `id` names an actor hosted by **this** reactor (always
+    /// true for in-range ids of a plain reactor; a partition owns only
+    /// `[base, base + len)`).
+    pub fn owns(&self, id: ActorId) -> bool {
+        id.0 >= self.base && id.0 < self.base + self.actors_total
+    }
+
+    /// First global actor id of this reactor's partition (0 for a plain
+    /// reactor).
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Messages already delivered to local mailboxes and awaiting the
+    /// next round (staged externals included).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Earliest deadline on the local timer wheel, if any.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.wheel.next_deadline()
     }
 
     /// Number of hosted actors.
@@ -363,7 +473,8 @@ impl<A: Actor> Reactor<A> {
     ///
     /// Panics if `id` is out of range.
     pub fn actor(&self, id: ActorId) -> &A {
-        &self.shards[id.0 >> self.span_bits].actors[id.0 & (self.span - 1)]
+        let local = id.0 - self.base;
+        &self.shards[local >> self.span_bits].actors[local & (self.span - 1)]
     }
 
     /// Exclusive access to an actor (e.g. for out-of-band state changes
@@ -373,7 +484,8 @@ impl<A: Actor> Reactor<A> {
     ///
     /// Panics if `id` is out of range.
     pub fn actor_mut(&mut self, id: ActorId) -> &mut A {
-        &mut self.shards[id.0 >> self.span_bits].actors[id.0 & (self.span - 1)]
+        let local = id.0 - self.base;
+        &mut self.shards[local >> self.span_bits].actors[local & (self.span - 1)]
     }
 
     /// Iterates actors in id order.
@@ -398,13 +510,27 @@ impl<A: Actor> Reactor<A> {
     /// Panics if `to` does not name a registered actor.
     pub fn inject(&mut self, to: ActorId, msg: A::Msg) {
         assert!(
-            to.0 < self.actors_total,
-            "inject to unknown {to} ({} actors)",
-            self.actors_total
+            self.owns(to),
+            "inject to unknown {to} (partition [{}, {}))",
+            self.base,
+            self.base + self.actors_total
         );
         self.staged.push((to, msg));
         self.pending += 1;
         self.stats.messages += 1;
+    }
+
+    /// Stages externally routed deliveries (remote-process sends or
+    /// remote-fired timers) for the next round, in the given order.
+    /// Equivalent to [`inject`](Self::inject) per message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any destination is not owned by this reactor.
+    pub fn stage_external(&mut self, msgs: impl IntoIterator<Item = (ActorId, A::Msg)>) {
+        for (to, msg) in msgs {
+            self.inject(to, msg);
+        }
     }
 
     /// Schedules `msg` for delivery to `to` after `delay` ticks, from
@@ -419,9 +545,10 @@ impl<A: Actor> Reactor<A> {
             return;
         }
         assert!(
-            to.0 < self.actors_total,
-            "schedule to unknown {to} ({} actors)",
-            self.actors_total
+            self.owns(to),
+            "schedule to unknown {to} (partition [{}, {}))",
+            self.base,
+            self.base + self.actors_total
         );
         self.wheel.schedule(self.now + delay, to, msg);
     }
@@ -435,16 +562,19 @@ impl<A: Actor> Reactor<A> {
         }
         let bits = self.span_bits;
         let mask = self.span - 1;
+        let base = self.base;
         for (to, _) in &self.staged {
-            let s = &mut self.shards[to.0 >> bits];
-            s.lens[to.0 & mask] += 1;
+            let local = to.0 - base;
+            let s = &mut self.shards[local >> bits];
+            s.lens[local & mask] += 1;
             s.incoming += 1;
         }
         for s in &mut self.shards {
             s.reserve_batch();
         }
         for (to, msg) in self.staged.drain(..) {
-            self.shards[to.0 >> bits].place(to.0 & mask, msg);
+            let local = to.0 - base;
+            self.shards[local >> bits].place(local & mask, msg);
         }
         for s in &mut self.shards {
             s.incoming = 0;
@@ -453,7 +583,19 @@ impl<A: Actor> Reactor<A> {
 
     /// Runs rounds (and advances logical time through the wheel) until no
     /// messages and no timers remain, then returns the cumulative stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a partitioned reactor: remote-destined sends and fired
+    /// timers need a router, so partitions are driven through
+    /// [`drain_phase`](Self::drain_phase) /
+    /// [`merge_phase`](Self::merge_phase) /
+    /// [`advance_to`](Self::advance_to) instead (see `bridge`).
     pub fn run_until_idle(&mut self) -> ReactorStats {
+        assert!(
+            !self.partitioned,
+            "run_until_idle on a partitioned reactor; drive it through the bridge phases"
+        );
         loop {
             if self.pending > 0 {
                 self.round();
@@ -474,11 +616,56 @@ impl<A: Actor> Reactor<A> {
         self.stats()
     }
 
+    /// Advances logical time to `deadline` and fires every due timer:
+    /// locally owned deliveries are staged for the next round; deliveries
+    /// addressed to other partitions are **returned** (in wheel order,
+    /// i.e. schedule order per deadline) for the caller to route.
+    ///
+    /// The single-process idle loop is exactly `advance_to(next_deadline)`
+    /// with an always-empty return value.
+    pub fn advance_to(&mut self, deadline: u64) -> Vec<(ActorId, A::Msg)> {
+        debug_assert!(!self.mid_round, "advance_to during a split round");
+        self.now = self.now.max(deadline);
+        let mut remote = Vec::new();
+        for (to, msg) in self.wheel.fire_due(self.now) {
+            self.stats.timers_fired += 1;
+            if self.owns(to) {
+                self.staged.push((to, msg));
+                self.pending += 1;
+                // Counted as delivered here; remote-fired messages are
+                // counted by the partition that stages them.
+                self.stats.messages += 1;
+            } else {
+                remote.push((to, msg));
+            }
+        }
+        remote
+    }
+
     /// Executes one round: every shard drains its actors' mailbox spans
     /// in index order (shards sharded across `rths_par` workers), then
     /// the per-shard send buffers are merged into destination rings in
     /// sender-index order.
+    ///
+    /// A round is [`drain_phase`](Self::drain_phase) followed by
+    /// [`merge_phase`](Self::merge_phase); a plain reactor has no remote
+    /// traffic in either direction, so the composition is the historical
+    /// single-phase round, bit for bit.
     fn round(&mut self) {
+        let remote = self.drain_phase();
+        debug_assert!(remote.is_empty(), "plain reactor produced remote batches");
+        self.merge_phase(Vec::new());
+    }
+
+    /// First half of a round: packs staged deliveries, drains every
+    /// shard's mailbox spans (actors in index order, shards across
+    /// `rths_par` workers), then withholds the per-shard send buffers
+    /// for [`merge_phase`](Self::merge_phase), returning the
+    /// remote-destined subsequence of each as a [`RemoteBatch`] (global
+    /// sender-shard order, send order within a batch). Plain reactors
+    /// always return an empty vec.
+    pub fn drain_phase(&mut self) -> Vec<RemoteBatch<A::Msg>> {
+        debug_assert!(!self.mid_round, "drain_phase while a round is already split open");
         let tracing = obs::enabled();
         let epoch = if tracing { obs::current_epoch() } else { 0 };
         let staged_n = self.staged.len();
@@ -488,8 +675,9 @@ impl<A: Actor> Reactor<A> {
             obs::span_end(Phase::MailboxDeliver, epoch, t);
         }
         let now = self.now;
-        let actors = self.actors_total;
+        let actors = self.global_total;
         let span_bits = self.span_bits;
+        let part_base = self.base;
         let num_shards = self.shards.len();
         let workers = rths_par::threads().min(num_shards).max(1);
         if self.round_scratch.len() < workers {
@@ -504,7 +692,7 @@ impl<A: Actor> Reactor<A> {
                 let t_drain = obs::span_start();
                 let mut drained = 0u64;
                 for (k, shard) in chunk.iter_mut().enumerate() {
-                    let base = (range.start + k) << span_bits;
+                    let base = part_base + ((range.start + k) << span_bits);
                     let MailShard {
                         actors: hosted,
                         ring,
@@ -549,22 +737,62 @@ impl<A: Actor> Reactor<A> {
             for (i, scratch) in self.round_scratch.iter_mut().enumerate().take(workers) {
                 obs::absorb_scratch(i as u32 + 1, epoch, scratch);
             }
+            obs::counter_add(Counter::MessagesEnqueued, staged_n as u64);
         }
-        // Merge: count per destination, reserve each destination ring's
-        // batch in one step, then place — iterating the send buffers in
-        // shard order both times, i.e. in global sender-index order, so
-        // each destination's batch lands contiguously and FIFO.
+        // Withhold the send buffers: local-destined messages wait in
+        // `send_batches` for the merge phase, remote-destined ones split
+        // off (order preserved on both sides of the split) for routing.
+        let mut batches = std::mem::take(&mut self.send_batches);
+        batches.resize_with(num_shards, Vec::new);
+        let mut out = Vec::new();
+        let global_shard0 = self.base >> self.span_bits;
+        for (si, batch) in batches.iter_mut().enumerate() {
+            std::mem::swap(batch, &mut self.shards[si].sends);
+            if self.partitioned && batch.iter().any(|(to, _)| !self.owns(*to)) {
+                // Stable split: both the kept (local) and extracted
+                // (remote) subsequences preserve send order.
+                let mut msgs = Vec::new();
+                for pair in std::mem::take(batch) {
+                    if self.owns(pair.0) {
+                        batch.push(pair);
+                    } else {
+                        msgs.push(pair);
+                    }
+                }
+                out.push(RemoteBatch { sender_shard: global_shard0 + si, msgs });
+            }
+        }
+        self.send_batches = batches;
+        self.mid_round = true;
+        out
+    }
+
+    /// Second half of a round: merges the withheld local send buffers
+    /// **and** `remote` batches from other partitions into the
+    /// destination rings in ascending global sender-shard order (counts
+    /// first, one reservation per ring, then contiguous FIFO placement),
+    /// then flushes newly scheduled timers to the wheel in shard order.
+    ///
+    /// `remote` must be sorted by `sender_shard` and contain only
+    /// locally owned destinations.
+    pub fn merge_phase(&mut self, remote: Vec<RemoteBatch<A::Msg>>) {
+        debug_assert!(self.mid_round || remote.is_empty(), "merge_phase without a drain");
+        let tracing = obs::enabled();
+        let epoch = if tracing { obs::current_epoch() } else { 0 };
         let bits = self.span_bits;
         let mask = self.span - 1;
+        let base = self.base;
+        let num_shards = self.shards.len();
         let mut delivered = 0usize;
         let t_sort = obs::span_start();
         let mut batches = std::mem::take(&mut self.send_batches);
         batches.resize_with(num_shards, Vec::new);
-        for (si, batch) in batches.iter_mut().enumerate() {
-            std::mem::swap(batch, &mut self.shards[si].sends);
+        // Counting is commutative — only placement order matters below.
+        for batch in batches.iter().chain(remote.iter().map(|b| &b.msgs)) {
             for (to, _) in batch.iter() {
-                let d = &mut self.shards[to.0 >> bits];
-                d.lens[to.0 & mask] += 1;
+                let local = to.0 - base;
+                let d = &mut self.shards[local >> bits];
+                d.lens[local & mask] += 1;
                 d.incoming += 1;
             }
             delivered += batch.len();
@@ -576,14 +804,39 @@ impl<A: Actor> Reactor<A> {
         if let Some(t) = t_sort {
             obs::span_end(Phase::MailboxSort, epoch, t);
         }
+        // Place in ascending *global* sender-shard order: remote batches
+        // interleave with the local ones exactly where a single-process
+        // reactor's iteration would have visited their sending shards.
         let t_place = obs::span_start();
+        let global_shard0 = base >> bits;
+        let mut remote = remote;
+        let mut ri = 0usize;
+        debug_assert!(
+            remote.windows(2).all(|w| w[0].sender_shard < w[1].sender_shard),
+            "remote batches not sorted by sender shard"
+        );
         for (si, batch) in batches.iter_mut().enumerate() {
+            while ri < remote.len() && remote[ri].sender_shard < global_shard0 + si {
+                for (to, msg) in remote[ri].msgs.drain(..) {
+                    let local = to.0 - base;
+                    self.shards[local >> bits].place(local & mask, msg);
+                }
+                ri += 1;
+            }
             for (to, msg) in batch.drain(..) {
-                self.shards[to.0 >> bits].place(to.0 & mask, msg);
+                let local = to.0 - base;
+                self.shards[local >> bits].place(local & mask, msg);
             }
             // Hand the (empty, capacity-retaining) buffer back to its
             // shard for the next round.
             std::mem::swap(batch, &mut self.shards[si].sends);
+        }
+        while ri < remote.len() {
+            for (to, msg) in remote[ri].msgs.drain(..) {
+                let local = to.0 - base;
+                self.shards[local >> bits].place(local & mask, msg);
+            }
+            ri += 1;
         }
         self.send_batches = batches;
         if let Some(t) = t_place {
@@ -601,10 +854,11 @@ impl<A: Actor> Reactor<A> {
             obs::span_end(Phase::TimerFlush, epoch, t);
         }
         self.pending = delivered;
+        self.mid_round = false;
         self.stats.rounds += 1;
         self.stats.messages += delivered as u64;
         if tracing {
-            obs::counter_add(Counter::MessagesEnqueued, (staged_n + delivered) as u64);
+            obs::counter_add(Counter::MessagesEnqueued, delivered as u64);
             let mut grows = 0u64;
             let mut cap = 0u64;
             let mut occ = 0u64;

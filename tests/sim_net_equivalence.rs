@@ -1,16 +1,21 @@
-//! The simulator, the threaded actor runtime, and the reactor event-loop
-//! runtime implement the *same system*: with identical seeds and no
-//! faults all three must agree **bit-for-bit**, because every actor owns
-//! the same deterministic RNG stream in every implementation and the
-//! epoch protocol is a barrier. The comparison is `f64::to_bits`
-//! equality — not approximate — and is repeated at `RTHS_THREADS=1` and
-//! `2`, since neither the simulator's fork/join parallelism nor the
-//! reactor's sharded mailbox draining may perturb a single bit.
+//! The simulator, the threaded actor runtime, the reactor event-loop
+//! runtime, and the multi-process reactor implement the *same system*:
+//! with identical seeds and no faults all four must agree
+//! **bit-for-bit**, because every actor owns the same deterministic RNG
+//! stream in every implementation and the epoch protocol is a barrier.
+//! The comparison is `f64::to_bits` equality — not approximate — and is
+//! repeated at `RTHS_THREADS=1` and `2`, since neither the simulator's
+//! fork/join parallelism nor the reactor's sharded mailbox draining may
+//! perturb a single bit. The multi-process runs split the mesh across 2
+//! and 4 OS processes (at a small shard span so these CI-sized meshes
+//! actually cross process boundaries); shard-span invariance is pinned
+//! separately by `rths_reactor`'s tests, so the comparison against the
+//! default-span engines is exact, not incidental.
 //!
 //! This is the strongest cross-implementation test in the workspace: any
 //! divergence in learner updates, rate allocation, or metric arithmetic
-//! between `rths-sim`, `rths-net`'s threaded backend, and its reactor
-//! backend fails it.
+//! between `rths-sim`, `rths-net`'s threaded backend, its reactor
+//! backend, or the socket-bridged multi-process reactor fails it.
 
 use rths_net::{Backend, NetConfig, NetOutcome};
 use rths_sim::{BandwidthSpec, ImpairmentPlan, Scenario, SimConfig, System};
@@ -88,8 +93,14 @@ fn assert_outcome_matches_sim(
     );
 }
 
-/// The acceptance gate: sim, threaded net, and reactor net must produce
-/// identical trajectories at every tested worker count.
+/// Shard span for the multi-process runs: small enough that even the
+/// ~16-actor paper scenarios split into several shards and therefore
+/// into genuinely separate processes.
+const MULTIPROC_SPAN: usize = 4;
+
+/// The acceptance gate: sim, threaded net, reactor net, and the
+/// multi-process reactor (2 and 4 processes) must produce identical
+/// trajectories at every tested worker count.
 fn assert_equivalent(sim_config: SimConfig, epochs: u64) {
     for threads in [1usize, 2] {
         with_threads(threads, || {
@@ -108,6 +119,25 @@ fn assert_equivalent(sim_config: SimConfig, epochs: u64) {
                 threaded.messages, reactor.messages,
                 "RTHS_THREADS={threads}: message accounting diverged between backends"
             );
+            for processes in [2usize, 4] {
+                let report = rths_net::run_multiproc_with_span(
+                    NetConfig::from_sim(sim_config.clone()),
+                    epochs,
+                    processes,
+                    MULTIPROC_SPAN,
+                );
+                assert_outcome_matches_sim(
+                    &format!("multiproc({processes})"),
+                    threads,
+                    &sim_out,
+                    &report.outcome,
+                );
+                assert_eq!(
+                    reactor.messages, report.outcome.messages,
+                    "RTHS_THREADS={threads}, {processes} processes: \
+                     message accounting diverged from the reactor"
+                );
+            }
         });
     }
 }
